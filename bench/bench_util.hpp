@@ -1,0 +1,159 @@
+// Shared infrastructure for the figure-reproduction benches.
+//
+// Every bench reports two kinds of rows (see DESIGN.md §2):
+//   [executed] the real mailbox running on mpisim rank-threads at a scale
+//              this one-CPU machine can execute (up to ~32 ranks), with
+//              wall time AND the time its recorded traffic would cost on
+//              the modeled Quartz-like network;
+//   [model]    the analytic evaluator sweeping the same workload to the
+//              paper's full scale (up to 1024 nodes x 36 cores).
+// The executed rows validate the model's ordering where both exist.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/evaluator.hpp"
+#include "net/params.hpp"
+#include "routing/router.hpp"
+
+namespace ygm::bench {
+
+/// Machine constants of the paper's experiments.
+inline constexpr int paper_cores_per_node = 36;  // Quartz: 2x 18-core Xeon
+inline constexpr std::size_t paper_mailbox_bytes = std::size_t{1} << 18;
+
+/// The paper's rule of thumb (§VI): NLNR is not used below 32 nodes, where
+/// a layer cannot form and Node Remote is the better choice.
+inline bool scheme_applicable(routing::scheme_kind k, int nodes) {
+  return k != routing::scheme_kind::nlnr || nodes >= 32;
+}
+
+/// Node counts the paper's scaling plots sweep.
+inline std::vector<int> paper_node_counts() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+// ----------------------------------------------------------- flag parsing
+
+inline bool has_flag(int argc, char** argv, const std::string& name) {
+  const std::string key = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (key == argv[i]) return true;
+  }
+  return false;
+}
+
+inline std::int64_t flag_int(int argc, char** argv, const std::string& name,
+                             std::int64_t fallback) {
+  const std::string key = "--" + name;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return std::stoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+// ---------------------------------------------------------- table output
+
+/// Set YGM_BENCH_CSV=1 to make every bench table print machine-readable
+/// CSV instead of the aligned text layout (for plotting scripts).
+inline bool csv_mode() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("YGM_BENCH_CSV");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
+
+/// Minimal fixed-width table printer (plain text, one row per line).
+class table {
+ public:
+  explicit table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    if (csv_mode()) {
+      print_csv();
+      return;
+    }
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+      std::string out = "  ";
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        out += cell;
+        out.append(width[c] - cell.size() + 2, ' ');
+      }
+      std::puts(out.c_str());
+    };
+    line(headers_);
+    std::string rule;
+    for (auto w : width) rule.append(w + 2, '-');
+    std::printf("  %s\n", rule.c_str());
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  void print_csv() const {
+    const auto line = [](const std::vector<std::string>& cells) {
+      std::string out;
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c != 0) out += ',';
+        // Cells are numeric or short labels; strip any stray commas rather
+        // than quoting.
+        for (const char ch : cells[c]) {
+          out += ch == ',' ? ';' : ch;
+        }
+      }
+      std::puts(out.c_str());
+    };
+    line(headers_);
+    for (const auto& row : rows_) line(row);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  if (v != 0 && (v < 1e-3 || v >= 1e7)) {
+    std::snprintf(buf, sizeof buf, "%.*e", precision - 1, v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*g", precision + 2, v);
+  }
+  return buf;
+}
+
+inline std::string fmt_int(double v) {
+  char buf[64];
+  if (v >= 1e7) {
+    std::snprintf(buf, sizeof buf, "%.2e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+/// Section banner shared by all benches.
+inline void banner(const std::string& title, const std::string& note) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+}
+
+}  // namespace ygm::bench

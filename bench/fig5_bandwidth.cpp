@@ -1,0 +1,107 @@
+// Figure 5: network bandwidth between two ranks as a function of message
+// size, with the eager->rendezvous dip at 16 KiB, annotated with the average
+// message sizes each routing scheme achieves for a fixed volume
+// (paper §III-E: O(V/NC) NoRoute, O(V/N) NodeLocal/NodeRemote, O(VC/N)
+// NLNR at 32 cores/node).
+//
+// Two series are printed: the calibrated Quartz-like network model (the
+// wire this repo's benches price traffic on) and an executed mpisim
+// ping-pong (in-process shared memory, so absolute numbers differ wildly —
+// it validates the runtime, not the wire).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace {
+
+using namespace ygm;
+
+void model_curve() {
+  const auto np = net::network_params::quartz_like();
+  bench::banner("Fig. 5 [model] point-to-point bandwidth vs message size",
+                "Quartz-like model: MVAPICH-style eager<16KiB, rendezvous "
+                "above (the dip).");
+  bench::table t({"msg size", "remote bw", "local bw", "regime"});
+  const auto row = [&](std::size_t s) {
+    t.add_row({format_bytes(static_cast<double>(s)),
+               format_rate(np.remote.bandwidth(static_cast<double>(s))),
+               format_rate(np.local.bandwidth(static_cast<double>(s))),
+               s < np.remote.eager_threshold ? "eager" : "rendezvous"});
+  };
+  for (std::size_t s = 8; s <= (std::size_t{64} << 20); s *= 4) {
+    // Make the protocol-switch dip explicit when the stride crosses it.
+    if (s >= np.remote.eager_threshold &&
+        s / 4 < np.remote.eager_threshold) {
+      row(np.remote.eager_threshold - 1);
+      row(np.remote.eager_threshold);
+    }
+    row(s);
+  }
+  t.print();
+
+  // The paper's annotation: where each scheme's average message lands for a
+  // fixed per-core volume on a 32-core/node machine.
+  const double V = 256.0 * 1024 * 1024;  // 256 MiB per core
+  const int C = 32;
+  bench::banner("Fig. 5 annotation: average remote message size per scheme",
+                "V = 256 MiB per core, C = 32 cores/node (paper values).");
+  bench::table a({"scheme", "formula", "N=64", "N=1024"});
+  const auto scheme_row = [&](const char* scheme, const char* formula,
+                              double at64, double at1024) {
+    a.add_row({scheme, formula,
+               format_bytes(at64) + " @ " +
+                   format_rate(np.remote.bandwidth(at64)),
+               format_bytes(at1024) + " @ " +
+                   format_rate(np.remote.bandwidth(at1024))});
+  };
+  scheme_row("NoRoute", "V/((N-1)C)", V / (63.0 * C), V / (1023.0 * C));
+  scheme_row("NodeLocal/NodeRemote", "V/(N-1)", V / 63.0, V / 1023.0);
+  scheme_row("NLNR", "VC/N", V * C / 64.0, V * C / 1024.0);
+  a.print();
+}
+
+void executed_pingpong() {
+  bench::banner("Fig. 5 [executed] mpisim ping-pong between two rank-threads",
+                "In-process shared memory; validates the transport, not the "
+                "modeled wire.");
+  bench::table t({"msg size", "round trips", "achieved rate"});
+  for (std::size_t s = 1024; s <= (std::size_t{4} << 20); s *= 4) {
+    const int reps = s <= 65536 ? 200 : 25;
+    double rate = 0;
+    mpisim::run(2, [&](mpisim::comm& c) {
+      std::vector<std::byte> payload(s);
+      c.barrier();
+      const double t0 = c.wtime();
+      for (int i = 0; i < reps; ++i) {
+        if (c.rank() == 0) {
+          c.send_bytes(1, 0, std::vector<std::byte>(payload));
+          (void)c.recv_bytes(1, 0);
+        } else {
+          (void)c.recv_bytes(0, 0);
+          c.send_bytes(0, 0, std::vector<std::byte>(payload));
+        }
+      }
+      const double dt = c.wtime() - t0;
+      if (c.rank() == 0) {
+        rate = 2.0 * static_cast<double>(s) * reps / dt;
+      }
+    });
+    t.add_row({format_bytes(static_cast<double>(s)), std::to_string(reps),
+               format_rate(rate)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  std::printf("Fig. 5 reproduction: bandwidth vs message size "
+              "(paper: MVAPICH 2.3 / Omni-Path on Quartz)\n");
+  model_curve();
+  executed_pingpong();
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Micro-benchmarks (google-benchmark) for the CPU-bound substrate paths the
+// mailbox's per-message costs are built from: serialization, varints,
+// packet framing, and routing-hop computation. These are the "cpu_s_per_msg"
+// terms of the network model; run them to re-calibrate
+// net::network_params on new hardware.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/packet.hpp"
+#include "graph/rmat.hpp"
+#include "linalg/csc.hpp"
+#include "routing/router.hpp"
+#include "ser/serialize.hpp"
+
+namespace {
+
+using namespace ygm;
+
+void BM_VarintEncode(benchmark::State& state) {
+  std::vector<std::byte> out;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    out.clear();
+    ser::varint_encode(v, out);
+    v = v * 6364136223846793005ULL + 1;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_VarintDecode(benchmark::State& state) {
+  std::vector<std::byte> buf;
+  xoshiro256 rng(1);
+  for (int i = 0; i < 1024; ++i) {
+    ser::varint_encode(rng() >> (rng() % 64), buf);
+  }
+  const std::byte* p = buf.data();
+  const std::byte* end = buf.data() + buf.size();
+  for (auto _ : state) {
+    if (p == end) p = buf.data();
+    benchmark::DoNotOptimize(ser::varint_decode(p, end));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VarintDecode);
+
+void BM_SerializePodVector(benchmark::State& state) {
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(state.range(0)));
+  xoshiro256 rng(2);
+  for (auto& x : v) x = rng();
+  std::vector<std::byte> out;
+  for (auto _ : state) {
+    out.clear();
+    ser::append_bytes(v, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(v.size() * 8));
+}
+BENCHMARK(BM_SerializePodVector)->Range(8, 1 << 14);
+
+void BM_RoundTripStringMap(benchmark::State& state) {
+  std::map<std::string, std::vector<std::uint32_t>> m;
+  for (int i = 0; i < 32; ++i) {
+    m["key-" + std::to_string(i)] = std::vector<std::uint32_t>(16, 7);
+  }
+  for (auto _ : state) {
+    const auto bytes = ser::to_bytes(m);
+    auto back =
+        ser::from_bytes<std::map<std::string, std::vector<std::uint32_t>>>(
+            {bytes.data(), bytes.size()});
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_RoundTripStringMap);
+
+void BM_PacketAppendParse(benchmark::State& state) {
+  // The mailbox's hot path: frame a message record, then parse it back.
+  const std::vector<std::byte> payload(16);
+  std::vector<std::byte> packet;
+  for (auto _ : state) {
+    packet.clear();
+    for (int i = 0; i < 64; ++i) {
+      core::packet_append(packet, false, i, {payload.data(), payload.size()});
+    }
+    core::packet_reader reader({packet.data(), packet.size()});
+    while (!reader.done()) {
+      benchmark::DoNotOptimize(reader.next());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PacketAppendParse);
+
+void BM_NextHop(benchmark::State& state) {
+  const auto kind = static_cast<routing::scheme_kind>(state.range(0));
+  const routing::router r(kind, routing::topology(1024, 36));
+  xoshiro256 rng(3);
+  const int nc = 1024 * 36;
+  for (auto _ : state) {
+    const int s = static_cast<int>(rng.below(nc));
+    int d = static_cast<int>(rng.below(nc));
+    if (d == s) d = (d + 1) % nc;
+    benchmark::DoNotOptimize(r.next_hop(s, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(routing::to_string(kind)));
+}
+BENCHMARK(BM_NextHop)->DenseRange(0, 3);
+
+void BM_BcastTreeExpansion(benchmark::State& state) {
+  const routing::router r(routing::scheme_kind::nlnr,
+                          routing::topology(64, 8));
+  xoshiro256 rng(4);
+  for (auto _ : state) {
+    const int origin = static_cast<int>(rng.below(512));
+    benchmark::DoNotOptimize(r.bcast_next_hops(origin, origin));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BcastTreeExpansion);
+
+void BM_ScrambleVertex(benchmark::State& state) {
+  xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::scramble_vertex(rng(), 32));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScrambleVertex);
+
+void BM_RmatSample(benchmark::State& state) {
+  const graph::rmat_generator g(24, 1, graph::rmat_params::graph500(), 1, 0,
+                                1);
+  xoshiro256 rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RmatSample);
+
+void BM_CscMultiply(benchmark::State& state) {
+  const std::uint64_t n = 4096;
+  xoshiro256 rng(7);
+  std::vector<linalg::triplet> t;
+  for (int i = 0; i < 1 << 16; ++i) {
+    t.push_back({rng.below(n), rng.below(n), 1.0});
+  }
+  const auto m = linalg::csc_matrix::from_triplets(n, n, std::move(t));
+  const std::vector<double> x(n, 1.0);
+  std::vector<double> y(n, 0.0);
+  for (auto _ : state) {
+    m.multiply_add(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.num_nonzeros()));
+}
+BENCHMARK(BM_CscMultiply);
+
+}  // namespace

@@ -1,0 +1,66 @@
+// §III-E analysis table: the closed-form quantities the paper derives for
+// each routing scheme — remote partners per core, global channel counts,
+// average remote message size for a fixed volume, and per-broadcast remote
+// message counts. Regenerated from the same router logic the mailbox
+// executes (and unit-tested against exhaustive route enumeration in
+// tests/test_routing.cpp).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "net/evaluator.hpp"
+#include "routing/router.hpp"
+
+namespace {
+
+using namespace ygm;
+
+void partner_table(int nodes, int cores) {
+  const routing::topology topo(nodes, cores);
+  bench::banner("§III-E analysis, N=" + std::to_string(nodes) +
+                    " nodes x C=" + std::to_string(cores) + " cores",
+                "V = 1 GiB of uniform all-to-all volume per core; average "
+                "remote message size per the paper's formulas.");
+  const double V = 1024.0 * 1024 * 1024;
+  bench::table t({"scheme", "remote partners/core", "paper formula",
+                  "remote channels", "avg remote msg", "bcast remote msgs",
+                  "max hops"});
+  for (const auto kind : routing::all_schemes) {
+    const routing::router r(kind, topo);
+    const int partners = r.remote_out_partners(topo.rank_of(nodes / 2, 1));
+    std::string formula;
+    switch (kind) {
+      case routing::scheme_kind::no_route:
+        formula = "(N-1)C";
+        break;
+      case routing::scheme_kind::node_local:
+      case routing::scheme_kind::node_remote:
+        formula = "N-1";
+        break;
+      case routing::scheme_kind::nlnr:
+        formula = "~N/C";
+        break;
+    }
+    t.add_row({std::string(routing::to_string(kind)),
+               std::to_string(partners), formula,
+               std::to_string(r.remote_channel_count()),
+               format_bytes(partners > 0 ? V / partners : 0.0),
+               std::to_string(r.bcast_remote_messages()),
+               std::to_string(r.max_hops())});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  std::printf("§III-E analysis tables (channel structure and message-size "
+              "scaling of the routing schemes)\n");
+  partner_table(64, 8);
+  partner_table(1024, 36);  // the paper's largest configuration
+  partner_table(4, 36);     // below the NLNR layer-formation point
+  return 0;
+}

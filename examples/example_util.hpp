@@ -1,0 +1,47 @@
+// Tiny command-line helpers shared by the example programs.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "routing/router.hpp"
+
+namespace ygm::examples {
+
+/// Value of "--name value" (or "--name=value"), else fallback.
+inline std::string flag(int argc, char** argv, const std::string& name,
+                        const std::string& fallback) {
+  const std::string key = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == key && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(key + "=", 0) == 0) return arg.substr(key.size() + 1);
+  }
+  return fallback;
+}
+
+inline std::int64_t flag_int(int argc, char** argv, const std::string& name,
+                             std::int64_t fallback) {
+  const auto v = flag(argc, argv, name, "");
+  return v.empty() ? fallback : std::stoll(v);
+}
+
+/// Parse a routing scheme name ("NoRoute", "NodeLocal", "NodeRemote",
+/// "NLNR"), case-sensitive, defaulting on unknown input.
+inline routing::scheme_kind flag_scheme(int argc, char** argv,
+                                        routing::scheme_kind fallback) {
+  const auto v = flag(argc, argv, "scheme", "");
+  for (auto k : routing::all_schemes) {
+    if (v == routing::to_string(k)) return k;
+  }
+  if (!v.empty()) {
+    std::cerr << "unknown --scheme '" << v << "', using "
+              << routing::to_string(fallback) << "\n";
+  }
+  return fallback;
+}
+
+}  // namespace ygm::examples

@@ -1,0 +1,101 @@
+// Asynchronous breadth-first search.
+//
+// The paper cites YGM's use in LLNL's Graph500 submission (§I), whose
+// benchmark kernel is BFS. This is the natural YGM formulation: a level
+// message (v, depth) improves v's level at its owner and cascades to v's
+// neighbors — label-correcting rather than level-synchronous, so no
+// barriers separate frontiers; wait_empty() detects when the cascade has
+// died out. Vertices may be relabelled a few times while better paths race
+// in, but the fixpoint is the true BFS level (it is unit-weight SSSP with
+// monotone updates).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "apps/graph_ingest.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "core/stats.hpp"
+
+namespace ygm::apps {
+
+inline constexpr std::uint64_t bfs_unreached =
+    std::numeric_limits<std::uint64_t>::max();
+
+struct bfs_result {
+  /// levels[j] = BFS depth of the vertex with local index j, or
+  /// bfs_unreached.
+  std::vector<std::uint64_t> local_levels;
+  std::uint64_t relaxations = 0;  ///< level-improvement events on this rank
+  core::mailbox_stats stats;
+};
+
+/// Collective BFS from `root` over a prebuilt adjacency.
+bfs_result inline bfs(core::comm_world& world, const local_adjacency& adj,
+                      graph::vertex_id root,
+                      std::size_t mailbox_capacity =
+                          core::default_mailbox_capacity) {
+  const auto& part = adj.partition();
+  bfs_result out;
+  out.local_levels.assign(adj.local_vertex_count(), bfs_unreached);
+
+  struct level_msg {
+    graph::vertex_id v = 0;
+    std::uint64_t level = 0;
+  };
+
+  core::mailbox<level_msg>* mbp = nullptr;
+  core::mailbox<level_msg> mb(
+      world,
+      [&](const level_msg& m) {
+        const std::uint64_t j = part.local_index(m.v);
+        if (m.level < out.local_levels[j]) {
+          out.local_levels[j] = m.level;
+          ++out.relaxations;
+          for (const auto& nb : adj.neighbors(j)) {
+            mbp->send(part.owner(nb.id), level_msg{nb.id, m.level + 1});
+          }
+        }
+      },
+      mailbox_capacity);
+  mbp = &mb;
+
+  if (part.owner(root) == world.rank()) {
+    mb.send(world.rank(), level_msg{root, 0});
+  }
+  mb.wait_empty();
+
+  out.stats = mb.stats();
+  return out;
+}
+
+/// Serial oracle (test support): BFS levels over a full edge list.
+std::vector<std::uint64_t> inline bfs_reference(
+    graph::vertex_id num_vertices, const std::vector<graph::edge>& edges,
+    graph::vertex_id root) {
+  std::vector<std::vector<graph::vertex_id>> adj(num_vertices);
+  for (const auto& e : edges) {
+    adj[e.src].push_back(e.dst);
+    adj[e.dst].push_back(e.src);
+  }
+  std::vector<std::uint64_t> level(num_vertices, bfs_unreached);
+  std::vector<graph::vertex_id> frontier{root};
+  level[root] = 0;
+  while (!frontier.empty()) {
+    std::vector<graph::vertex_id> next;
+    for (const auto v : frontier) {
+      for (const auto u : adj[v]) {
+        if (level[u] == bfs_unreached) {
+          level[u] = level[v] + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return level;
+}
+
+}  // namespace ygm::apps

@@ -1,0 +1,54 @@
+// Degree counting (paper Algorithm 1, §V-A).
+//
+// Streams the edges of a graph through a mailbox: every edge spawns two
+// messages — one per endpoint — each delivered to the endpoint's owner,
+// where it increments a counter. Vertices are assigned round-robin. This is
+// the paper's minimal YGM application: pure communication with O(1) work per
+// message, used to expose the routing schemes' bandwidth behaviour (Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "graph/edge.hpp"
+
+namespace ygm::apps {
+
+struct degree_count_result {
+  /// degrees[i] = degree of the vertex with local index i on this rank.
+  std::vector<std::uint64_t> local_degrees;
+  core::mailbox_stats stats;  ///< mailbox traffic counters for the run
+};
+
+/// Collective. `gen` must expose num_vertices() and
+/// for_each(fn(graph::edge)) producing this rank's slice of the edges
+/// (see graph/generators.hpp).
+template <class Generator>
+degree_count_result degree_count(
+    core::comm_world& world, const Generator& gen,
+    std::size_t mailbox_capacity = core::default_mailbox_capacity) {
+  const graph::round_robin_partition part{world.size()};
+  degree_count_result out;
+  out.local_degrees.assign(part.local_count(world.rank(), gen.num_vertices()),
+                           0);
+
+  core::mailbox<graph::vertex_id> mb(
+      world,
+      [&](const graph::vertex_id& v) {
+        ++out.local_degrees[part.local_index(v)];
+      },
+      mailbox_capacity);
+
+  gen.for_each([&](const graph::edge& e) {
+    mb.send(part.owner(e.src), e.src);
+    mb.send(part.owner(e.dst), e.dst);
+  });
+  mb.wait_empty();
+
+  out.stats = mb.stats();
+  return out;
+}
+
+}  // namespace ygm::apps

@@ -1,0 +1,160 @@
+// Distributed k-mer counting — the HipMer/Meraculous workload the paper
+// calls out as a natural YGM fit (§II: "HipMer's process for identifying
+// frequent k-mers is similar to how we identify high-degree vertices in
+// graphs, and can likely benefit from using YGM"; its per-destination
+// send buffers flushed at a size threshold are precisely the mailbox).
+//
+// Each rank streams its local reads (DNA strings), slides a window of k
+// bases, canonicalizes each k-mer (min of itself and its reverse
+// complement, as assemblers do), packs it into 2 bits per base, and counts
+// occurrences through a counting_set. Frequent k-mers — the assembler's
+// de Bruijn graph vertices of interest — fall out of top_k / threshold
+// queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "containers/counting_set.hpp"
+#include "core/comm_world.hpp"
+
+namespace ygm::apps {
+
+/// 2-bit base codes; k-mers pack into a u64 for k <= 31 (one tag bit spare).
+constexpr int kmer_max_k = 31;
+
+inline int base_code(char b) {
+  switch (b) {
+    case 'A':
+      return 0;
+    case 'C':
+      return 1;
+    case 'G':
+      return 2;
+    case 'T':
+      return 3;
+    default:
+      return -1;  // N or junk: breaks the window
+  }
+}
+
+/// Pack a k-mer string into 2 bits/base. Precondition: only ACGT.
+inline std::uint64_t pack_kmer(std::string_view kmer) {
+  YGM_ASSERT(kmer.size() <= kmer_max_k);
+  std::uint64_t packed = 0;
+  for (const char b : kmer) {
+    const int code = base_code(b);
+    YGM_ASSERT(code >= 0);
+    packed = (packed << 2) | static_cast<std::uint64_t>(code);
+  }
+  return packed;
+}
+
+/// Reverse complement of a packed k-mer.
+inline std::uint64_t reverse_complement(std::uint64_t packed, int k) {
+  std::uint64_t rc = 0;
+  for (int i = 0; i < k; ++i) {
+    rc = (rc << 2) | ((packed ^ 0x3u) & 0x3u);  // complement last base
+    packed >>= 2;
+  }
+  return rc;
+}
+
+/// Canonical form: min(kmer, reverse_complement) — strand-independent.
+inline std::uint64_t canonical_kmer(std::uint64_t packed, int k) {
+  const std::uint64_t rc = reverse_complement(packed, k);
+  return packed < rc ? packed : rc;
+}
+
+/// Unpack for display/tests.
+inline std::string unpack_kmer(std::uint64_t packed, int k) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s(static_cast<std::size_t>(k), 'A');
+  for (int i = k - 1; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kBases[packed & 0x3u];
+    packed >>= 2;
+  }
+  return s;
+}
+
+struct kmer_count_result {
+  std::uint64_t total_kmers = 0;     ///< k-mer instances streamed (global)
+  std::uint64_t distinct_kmers = 0;  ///< distinct canonical k-mers (global)
+  /// The (canonical packed k-mer, count) pairs at or above the caller's
+  /// frequency threshold, identical on all ranks, sorted by count
+  /// descending (capped at max_report entries).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> frequent;
+};
+
+/// Collective: count canonical k-mers across all ranks' reads and report
+/// those occurring at least `min_count` times (HipMer's frequent-k-mer
+/// phase).
+inline kmer_count_result count_kmers(
+    core::comm_world& world, const std::vector<std::string>& local_reads,
+    int k, std::uint64_t min_count, std::size_t max_report = 64,
+    std::size_t mailbox_capacity = core::default_mailbox_capacity) {
+  YGM_CHECK(k >= 1 && k <= kmer_max_k, "k out of range");
+
+  container::counting_set<std::uint64_t> counts(world, mailbox_capacity);
+  const std::uint64_t mask =
+      k == 32 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (2 * k)) - 1);
+
+  for (const auto& read : local_reads) {
+    std::uint64_t window = 0;
+    int valid = 0;  // consecutive valid bases ending here
+    for (const char b : read) {
+      const int code = base_code(b);
+      if (code < 0) {
+        valid = 0;
+        window = 0;
+        continue;
+      }
+      window = ((window << 2) | static_cast<std::uint64_t>(code)) & mask;
+      if (++valid >= k) {
+        counts.async_insert(canonical_kmer(window, k));
+      }
+    }
+  }
+  counts.wait_empty();
+
+  kmer_count_result out;
+  out.total_kmers = counts.global_total();
+  out.distinct_kmers = counts.global_unique();
+  // Frequent set: local filter then a bounded merge (frequent k-mers are
+  // few by construction — that is why HipMer looks for them).
+  for (const auto& [kmer, count] : counts.top_k(max_report)) {
+    if (count >= min_count) out.frequent.emplace_back(kmer, count);
+  }
+  return out;
+}
+
+/// Synthetic read generator: a random reference genome with occasional
+/// junk bases, plus `repeat` planted every `plant_every` reads so a known
+/// k-mer is guaranteed frequent (test and demo support).
+inline std::vector<std::string> synthetic_reads(
+    int rank, int num_reads, int read_length, std::uint64_t seed,
+    const std::string& plant = "", int plant_every = 0) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  xoshiro256 rng(splitmix64(seed + 31 * static_cast<std::uint64_t>(rank)));
+  std::vector<std::string> reads;
+  reads.reserve(static_cast<std::size_t>(num_reads));
+  for (int r = 0; r < num_reads; ++r) {
+    std::string read(static_cast<std::size_t>(read_length), 'A');
+    for (auto& b : read) {
+      b = rng.below(97) == 0 ? 'N' : kBases[rng.below(4)];
+    }
+    if (!plant.empty() && plant_every > 0 && r % plant_every == 0 &&
+        read.size() >= plant.size()) {
+      const auto at = rng.below(read.size() - plant.size() + 1);
+      read.replace(static_cast<std::size_t>(at), plant.size(), plant);
+    }
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+}  // namespace ygm::apps

@@ -1,0 +1,133 @@
+#include "apps/spmv.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "mpisim/ops.hpp"
+
+namespace ygm::apps {
+
+namespace {
+
+struct y_msg {
+  std::uint64_t row = 0;
+  double value = 0.0;
+};
+
+}  // namespace
+
+dist_spmv::dist_spmv(core::comm_world& world, std::uint64_t n,
+                     const std::vector<linalg::triplet>& local_entries,
+                     graph::delegate_set delegates,
+                     std::size_t mailbox_capacity)
+    : world_(&world),
+      n_(n),
+      delegates_(std::move(delegates)),
+      capacity_(mailbox_capacity),
+      part_{world.size()} {
+  std::vector<linalg::triplet> own_entries;
+
+  const auto classify = [&](const linalg::triplet& t) {
+    if (delegates_.contains(t.col)) {
+      // Colocated with the row owner; x_col comes from the replica.
+      YGM_ASSERT(part_.owner(t.row) == world_->rank());
+      const bool rdel = delegates_.contains(t.row);
+      colocated_.push_back({delegates_.slot(t.col),
+                            rdel ? delegates_.slot(t.row)
+                                 : part_.local_index(t.row),
+                            rdel, t.value});
+    } else {
+      YGM_ASSERT(part_.owner(t.col) == world_->rank());
+      // Rebase the column to its local index; rows stay global.
+      own_entries.push_back(
+          linalg::triplet{t.row, part_.local_index(t.col), t.value});
+    }
+  };
+
+  {
+    core::mailbox<linalg::triplet> ingest(
+        world, [&](const linalg::triplet& t) { classify(t); },
+        mailbox_capacity);
+    for (const auto& t : local_entries) {
+      YGM_CHECK(t.row < n_ && t.col < n_, "triplet index out of range");
+      const int dest = delegates_.contains(t.col) ? part_.owner(t.row)
+                                                 : part_.owner(t.col);
+      ingest.send(dest, t);
+    }
+    ingest.wait_empty();
+  }
+
+  own_ = linalg::csc_matrix::from_triplets(
+      n_, part_.local_count(world.rank(), n_), std::move(own_entries));
+}
+
+spmv_result dist_spmv::multiply(const std::vector<double>& x_local) {
+  YGM_CHECK(x_local.size() == part_.local_count(world_->rank(), n_),
+            "x_local has wrong length");
+  spmv_result out;
+  out.local_y.assign(x_local.size(), 0.0);
+  out.delegate_y.assign(delegates_.size(), 0.0);
+
+  // Replicate delegated x entries from their owners (small: one value per
+  // delegate, gathered collectively).
+  std::vector<double> x_rep(delegates_.size(), 0.0);
+  {
+    std::vector<std::pair<std::uint64_t, double>> mine;
+    for (std::uint64_t slot = 0; slot < delegates_.size(); ++slot) {
+      const graph::vertex_id d = delegates_.id_of_slot(slot);
+      if (part_.owner(d) == world_->rank()) {
+        mine.emplace_back(slot, x_local[part_.local_index(d)]);
+      }
+    }
+    const auto all = world_->mpi().allgather(mine);
+    for (const auto& v : all) {
+      for (const auto& [slot, value] : v) x_rep[slot] = value;
+    }
+  }
+
+  core::mailbox<y_msg> mb(
+      *world_,
+      [&](const y_msg& m) {
+        out.local_y[part_.local_index(m.row)] += m.value;
+      },
+      capacity_);
+
+  const int me = world_->rank();
+  own_.for_each([&](std::uint64_t row, std::uint64_t local_col, double val) {
+    const double prod = val * x_local[local_col];
+    if (delegates_.contains(row)) {
+      out.delegate_y[delegates_.slot(row)] += prod;
+    } else if (part_.owner(row) == me) {
+      out.local_y[part_.local_index(row)] += prod;
+    } else {
+      mb.send(part_.owner(row), y_msg{row, prod});
+    }
+  });
+  for (const auto& e : colocated_) {
+    const double prod = e.value * x_rep[e.slot_j];
+    if (e.row_is_delegate) {
+      out.delegate_y[e.target] += prod;
+    } else {
+      out.local_y[e.target] += prod;
+    }
+  }
+  mb.wait_empty();
+
+  // Combine delegated entries across ranks (paper: "all delegated entries
+  // in y are combined using an ALLREDUCE").
+  out.delegate_y =
+      world_->mpi().allreduce_vec(out.delegate_y, mpisim::op_sum{});
+
+  // Mirror delegated results into the owners' y for a complete labelling.
+  for (std::uint64_t slot = 0; slot < delegates_.size(); ++slot) {
+    const graph::vertex_id d = delegates_.id_of_slot(slot);
+    if (part_.owner(d) == me) {
+      out.local_y[part_.local_index(d)] = out.delegate_y[slot];
+    }
+  }
+
+  out.stats = mb.stats();
+  return out;
+}
+
+}  // namespace ygm::apps

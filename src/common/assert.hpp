@@ -1,0 +1,55 @@
+// Assertion and error-reporting helpers shared by every YGM library.
+//
+// Two families:
+//   YGM_ASSERT(cond)        - debug-style invariant check; always compiled in
+//                             (these libraries are correctness-critical and
+//                             the checks are cheap relative to communication).
+//   YGM_CHECK(cond, msg)    - user-facing precondition; throws ygm::error
+//                             with a formatted message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ygm {
+
+/// Exception type thrown on precondition violations throughout the library.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::ostringstream oss;
+  oss << "YGM_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  throw ygm::error(oss.str());
+}
+
+[[noreturn]] inline void check_fail(const char* expr, const std::string& msg,
+                                    const char* file, int line) {
+  std::ostringstream oss;
+  oss << "YGM_CHECK failed: " << msg << " [(" << expr << ") at " << file << ":"
+      << line << "]";
+  throw ygm::error(oss.str());
+}
+
+}  // namespace detail
+}  // namespace ygm
+
+#define YGM_ASSERT(cond)                                   \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::ygm::detail::assert_fail(#cond, __FILE__, __LINE__); \
+    }                                                      \
+  } while (0)
+
+#define YGM_CHECK(cond, msg)                                      \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::ygm::detail::check_fail(#cond, (msg), __FILE__, __LINE__); \
+    }                                                             \
+  } while (0)

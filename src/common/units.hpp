@@ -1,0 +1,51 @@
+// Small formatting helpers for the benchmark harnesses: humanized byte
+// sizes, rates, and fixed-width table cells.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace ygm {
+
+/// "1.0 KiB", "16.0 MiB", ... (binary prefixes).
+inline std::string format_bytes(double bytes) {
+  static const char* kSuffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int i = 0;
+  while (bytes >= 1024.0 && i < 4) {
+    bytes /= 1024.0;
+    ++i;
+  }
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(bytes < 10 && i > 0 ? 1 : 0) << bytes
+      << ' ' << kSuffix[i];
+  return oss.str();
+}
+
+/// "3.2 GB/s" style decimal rate.
+inline std::string format_rate(double bytes_per_sec) {
+  static const char* kSuffix[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  int i = 0;
+  while (bytes_per_sec >= 1000.0 && i < 4) {
+    bytes_per_sec /= 1000.0;
+    ++i;
+  }
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(2) << bytes_per_sec << ' '
+      << kSuffix[i];
+  return oss.str();
+}
+
+/// "1.23e+06" style count rate (e.g. edges/second).
+inline std::string format_count(double v) {
+  std::ostringstream oss;
+  if (v >= 1e5) {
+    oss << std::scientific << std::setprecision(2) << v;
+  } else {
+    oss << std::fixed << std::setprecision(v < 10 ? 2 : 0) << v;
+  }
+  return oss.str();
+}
+
+}  // namespace ygm

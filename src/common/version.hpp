@@ -1,0 +1,21 @@
+// Library version (kept in sync with the CMake project version).
+#pragma once
+
+#define YGM_VERSION_MAJOR 0
+#define YGM_VERSION_MINOR 1
+#define YGM_VERSION_PATCH 0
+#define YGM_VERSION_STRING "0.1.0"
+
+namespace ygm {
+
+struct version_info {
+  int major;
+  int minor;
+  int patch;
+};
+
+constexpr version_info version() noexcept {
+  return {YGM_VERSION_MAJOR, YGM_VERSION_MINOR, YGM_VERSION_PATCH};
+}
+
+}  // namespace ygm

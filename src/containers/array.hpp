@@ -1,0 +1,103 @@
+// ygm::container::array — a distributed fixed-size array.
+//
+// Indices are round-robin partitioned (the paper's vertex partitioning);
+// async_set overwrites, async_add folds with the reducer fixed at
+// construction. The SpMV result vector and label arrays of the
+// applications are this pattern.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "graph/edge.hpp"
+#include "mpisim/ops.hpp"
+
+namespace ygm::container {
+
+template <class T>
+class array {
+ public:
+  using reducer_fn = std::function<T(const T&, const T&)>;
+
+  array(core::comm_world& world, std::uint64_t size, T fill = T{},
+        reducer_fn reducer = [](const T& a, const T& b) { return a + b; },
+        std::size_t mailbox_capacity = core::default_mailbox_capacity)
+      : world_(&world),
+        size_(size),
+        part_{world.size()},
+        reducer_(std::move(reducer)),
+        local_(part_.local_count(world.rank(), size), fill),
+        mb_(world, [this](const cell_msg& m) { apply(m); },
+            mailbox_capacity) {}
+
+  std::uint64_t size() const noexcept { return size_; }
+
+  void async_set(std::uint64_t i, const T& v) {
+    YGM_CHECK(i < size_, "array index out of range");
+    mb_.send(part_.owner(i), cell_msg{i, v, /*add=*/false});
+  }
+
+  /// Fold v into element i with the reducer (default: plus).
+  void async_add(std::uint64_t i, const T& v) {
+    YGM_CHECK(i < size_, "array index out of range");
+    mb_.send(part_.owner(i), cell_msg{i, v, /*add=*/true});
+  }
+
+  /// Collective: finish all outstanding updates.
+  void wait_empty() { mb_.wait_empty(); }
+
+  /// Locally owned elements, indexed by local index (valid after
+  /// wait_empty()). Global id of local index j is
+  /// partition().global_id(rank, j).
+  const std::vector<T>& local_values() const noexcept { return local_; }
+  std::vector<T>& local_values() noexcept { return local_; }
+
+  const graph::round_robin_partition& partition() const noexcept {
+    return part_;
+  }
+
+  /// Collective: materialize the whole array everywhere (small arrays).
+  std::vector<T> gather_all() const {
+    const auto shards = world_->mpi().allgather(local_);
+    std::vector<T> out(size_);
+    for (int r = 0; r < world_->size(); ++r) {
+      const auto& shard = shards[static_cast<std::size_t>(r)];
+      for (std::uint64_t j = 0; j < shard.size(); ++j) {
+        out[part_.global_id(r, j)] = shard[j];
+      }
+    }
+    return out;
+  }
+
+  core::comm_world& world() const noexcept { return *world_; }
+
+ private:
+  struct cell_msg {
+    std::uint64_t index = 0;
+    T value{};
+    bool add = false;
+
+    template <class Archive>
+    void serialize(Archive& ar) {
+      ar & index & value & add;
+    }
+  };
+
+  void apply(const cell_msg& m) {
+    auto& slot = local_[part_.local_index(m.index)];
+    slot = m.add ? reducer_(slot, m.value) : m.value;
+  }
+
+  core::comm_world* world_;
+  std::uint64_t size_;
+  graph::round_robin_partition part_;
+  reducer_fn reducer_;
+  std::vector<T> local_;
+  core::mailbox<cell_msg> mb_;
+};
+
+}  // namespace ygm::container

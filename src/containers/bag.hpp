@@ -1,0 +1,85 @@
+// ygm::container::bag — an unordered distributed multiset.
+//
+// The simplest container the mailbox supports: async_insert() scatters
+// items across ranks (hash-balanced), each rank stores its share in a flat
+// vector, and local iteration plus a couple of collectives cover the common
+// aggregate queries. The paper positions YGM as "a transport layer"; this
+// layer shows how little is needed to turn the transport into data
+// structures (the pattern the open-source YGM library later shipped).
+//
+// All async_* calls are buffered through one mailbox; wait_empty() is
+// collective and must be called before reading results.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "mpisim/ops.hpp"
+
+namespace ygm::container {
+
+template <class T>
+class bag {
+ public:
+  explicit bag(core::comm_world& world,
+               std::size_t mailbox_capacity = core::default_mailbox_capacity)
+      : world_(&world),
+        mb_(world, [this](const T& item) { items_.push_back(item); },
+            mailbox_capacity),
+        spray_(splitmix64(0x6ba6u + static_cast<std::uint64_t>(world.rank()))) {
+  }
+
+  /// Insert anywhere (placement is load-balanced, not meaningful).
+  void async_insert(const T& item) {
+    const int dest = static_cast<int>(
+        spray_.below(static_cast<std::uint64_t>(world_->size())));
+    mb_.send(dest, item);
+  }
+
+  /// Insert into this rank's local shard without communication.
+  void local_insert(T item) { items_.push_back(std::move(item)); }
+
+  /// Collective: finish all outstanding inserts.
+  void wait_empty() { mb_.wait_empty(); }
+
+  /// This rank's shard (valid after wait_empty()).
+  const std::vector<T>& local_items() const noexcept { return items_; }
+
+  std::uint64_t local_size() const noexcept { return items_.size(); }
+
+  /// Collective: total item count across ranks.
+  std::uint64_t global_size() const {
+    return world_->mpi().allreduce(local_size(), mpisim::op_sum{});
+  }
+
+  /// Visit every locally stored item.
+  template <class F>
+  void for_all(F&& fn) const {
+    for (const auto& item : items_) fn(item);
+  }
+
+  /// Collective: gather the full contents everywhere (small bags only).
+  std::vector<T> gather_all() const {
+    const auto shards = world_->mpi().allgather(items_);
+    std::vector<T> all;
+    for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+    return all;
+  }
+
+  void local_clear() { items_.clear(); }
+
+  core::comm_world& world() const noexcept { return *world_; }
+  const core::mailbox_stats& stats() const noexcept { return mb_.stats(); }
+
+ private:
+  core::comm_world* world_;
+  std::vector<T> items_;
+  core::mailbox<T> mb_;
+  xoshiro256 spray_;
+};
+
+}  // namespace ygm::container

@@ -1,0 +1,98 @@
+// ygm::container::counting_set — distributed frequency counting.
+//
+// async_insert(key) increments the key's count at its owning rank; the
+// degree-counting kernel of the paper (Algorithm 1) is exactly this
+// container with vertex ids as keys. Aggregate queries (top-k, totals) are
+// cheap collectives over the local shards.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "mpisim/ops.hpp"
+
+namespace ygm::container {
+
+template <class Key, class Hash = std::hash<Key>>
+class counting_set {
+ public:
+  explicit counting_set(
+      core::comm_world& world,
+      std::size_t mailbox_capacity = core::default_mailbox_capacity)
+      : world_(&world),
+        mb_(world, [this](const Key& k) { ++counts_[k]; }, mailbox_capacity) {}
+
+  void async_insert(const Key& k) { mb_.send(owner(k), k); }
+
+  /// Collective: finish all outstanding inserts.
+  void wait_empty() { mb_.wait_empty(); }
+
+  /// Local shard (valid after wait_empty()).
+  const std::unordered_map<Key, std::uint64_t, Hash>& local_counts() const
+      noexcept {
+    return counts_;
+  }
+
+  /// Count of a locally owned key (0 if absent). Precondition:
+  /// owner(k) == world().rank().
+  std::uint64_t local_count(const Key& k) const {
+    const auto it = counts_.find(k);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t local_unique() const noexcept { return counts_.size(); }
+
+  /// Collective: number of distinct keys.
+  std::uint64_t global_unique() const {
+    return world_->mpi().allreduce(local_unique(), mpisim::op_sum{});
+  }
+
+  /// Collective: total insert count.
+  std::uint64_t global_total() const {
+    std::uint64_t local = 0;
+    for (const auto& [k, c] : counts_) local += c;
+    return world_->mpi().allreduce(local, mpisim::op_sum{});
+  }
+
+  /// Collective: the k most frequent (key, count) pairs, identical on every
+  /// rank; ties broken arbitrarily but deterministically.
+  std::vector<std::pair<Key, std::uint64_t>> top_k(std::size_t k) const {
+    std::vector<std::pair<Key, std::uint64_t>> local(counts_.begin(),
+                                                     counts_.end());
+    const auto by_count = [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    };
+    std::sort(local.begin(), local.end(), by_count);
+    if (local.size() > k) local.resize(k);
+
+    const auto all = world_->mpi().allgather(local);
+    std::vector<std::pair<Key, std::uint64_t>> merged;
+    for (const auto& shard : all) {
+      merged.insert(merged.end(), shard.begin(), shard.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(), by_count);
+    if (merged.size() > k) merged.resize(k);
+    return merged;
+  }
+
+  int owner(const Key& k) const {
+    return static_cast<int>(splitmix64(Hash{}(k)) %
+                            static_cast<std::uint64_t>(world_->size()));
+  }
+
+  core::comm_world& world() const noexcept { return *world_; }
+  const core::mailbox_stats& stats() const noexcept { return mb_.stats(); }
+
+ private:
+  core::comm_world* world_;
+  std::unordered_map<Key, std::uint64_t, Hash> counts_;
+  core::mailbox<Key> mb_;
+};
+
+}  // namespace ygm::container

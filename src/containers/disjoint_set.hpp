@@ -1,0 +1,172 @@
+// ygm::container::disjoint_set — asynchronous distributed union-find.
+//
+// The paper notes its simple O(diam G) label-propagation CC was chosen to
+// stress the mailbox and that "a Shiloach-Vishkin implementation could be
+// implemented using YGM" (§V-B); this container is that implementation
+// path: near-work-optimal connected components from async_union plus a
+// pointer-jumping compression, all riding the mailbox.
+//
+// Protocol: items are round-robin partitioned; parents only ever point to
+// smaller ids, so every union message (a, b) walks a's chain toward its
+// root, hopping ranks when the chain crosses ownership, and finally links
+// root(a) under b (or swaps and retries when b is smaller). Each hop
+// strictly decreases the pair, so cascades terminate; wait_empty() then
+// certifies global quiescence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "graph/edge.hpp"
+#include "mpisim/ops.hpp"
+
+namespace ygm::container {
+
+class disjoint_set {
+ public:
+  disjoint_set(core::comm_world& world, std::uint64_t universe,
+               std::size_t mailbox_capacity = core::default_mailbox_capacity)
+      : world_(&world),
+        universe_(universe),
+        part_{world.size()},
+        unions_(world, [this](const union_msg& m) { handle_union(m); },
+                mailbox_capacity),
+        queries_(world, [this](const jump_msg& m) { handle_query(m); },
+                 mailbox_capacity),
+        answers_(world, [this](const jump_msg& m) { handle_answer(m); },
+                 mailbox_capacity) {
+    parent_.resize(part_.local_count(world.rank(), universe));
+    for (std::uint64_t j = 0; j < parent_.size(); ++j) {
+      parent_[j] = part_.global_id(world.rank(), j);
+    }
+  }
+
+  std::uint64_t universe() const noexcept { return universe_; }
+
+  /// Merge the sets containing a and b (asynchronous; complete after
+  /// wait_empty()).
+  void async_union(std::uint64_t a, std::uint64_t b) {
+    YGM_CHECK(a < universe_ && b < universe_, "id outside the universe");
+    if (a == b) return;
+    // Walk the larger id's chain.
+    if (a < b) std::swap(a, b);
+    route_union(union_msg{a, b});
+  }
+
+  /// Collective: finish all outstanding unions.
+  void wait_empty() { unions_.wait_empty(); }
+
+  /// Collective: pointer-jump every parent to its root (rounds of remote
+  /// grandparent queries until nothing moves). After this, local_parents()
+  /// holds final set labels (the minimum id of each set).
+  void compress() {
+    for (;;) {
+      for (std::uint64_t j = 0; j < parent_.size(); ++j) {
+        const std::uint64_t self = part_.global_id(world_->rank(), j);
+        if (parent_[j] != self) {
+          queries_.send(part_.owner(parent_[j]), jump_msg{self, parent_[j]});
+        }
+      }
+      changed_ = false;
+      queries_.wait_empty();
+      answers_.wait_empty();
+      const bool any =
+          world_->mpi().allreduce(changed_, mpisim::op_lor{});
+      if (!any) break;
+    }
+  }
+
+  /// Local labels after compress(): label of global id
+  /// partition().global_id(rank, j) is local_parents()[j].
+  const std::vector<std::uint64_t>& local_parents() const noexcept {
+    return parent_;
+  }
+
+  const graph::round_robin_partition& partition() const noexcept {
+    return part_;
+  }
+
+  /// Collective: number of disjoint sets.
+  std::uint64_t num_sets() const {
+    std::uint64_t roots = 0;
+    for (std::uint64_t j = 0; j < parent_.size(); ++j) {
+      if (parent_[j] == part_.global_id(world_->rank(), j)) ++roots;
+    }
+    return world_->mpi().allreduce(roots, mpisim::op_sum{});
+  }
+
+  core::comm_world& world() const noexcept { return *world_; }
+
+  /// Traffic counters of the union plane (for benches).
+  const core::mailbox_stats& stats() const noexcept { return unions_.stats(); }
+
+ private:
+  struct union_msg {
+    std::uint64_t chase = 0;  // walk this id's chain...
+    std::uint64_t other = 0;  // ...and link its root toward this id
+  };
+
+  struct jump_msg {
+    std::uint64_t node = 0;    // whose parent pointer is being jumped
+    std::uint64_t target = 0;  // query: the parent / answer: the grandparent
+  };
+
+  void route_union(const union_msg& m) {
+    unions_.send(part_.owner(m.chase), m);
+  }
+
+  void handle_union(const union_msg& m) {
+    std::uint64_t a = m.chase;
+    const std::uint64_t b = m.other;
+    YGM_ASSERT(part_.owner(a) == world_->rank());
+    // Chase a's chain while it stays on this rank.
+    for (;;) {
+      const std::uint64_t p = parent_[part_.local_index(a)];
+      if (p == a) break;  // a is a root
+      if (part_.owner(p) != world_->rank()) {
+        if (p == b) return;  // already joined
+        // Continue the walk on the parent's owner. Parents decrease, so
+        // this terminates.
+        route_union(union_msg{p, b});
+        return;
+      }
+      a = p;
+    }
+    if (a == b) return;
+    if (b < a) {
+      parent_[part_.local_index(a)] = b;  // link root under the smaller id
+    } else {
+      route_union(union_msg{b, a});  // swap roles; strictly smaller pair
+    }
+  }
+
+  void handle_query(const jump_msg& m) {
+    // m.target is owned here; answer with its current parent (the
+    // requester's grandparent).
+    const std::uint64_t gp = parent_[part_.local_index(m.target)];
+    answers_.send(part_.owner(m.node), jump_msg{m.node, gp});
+  }
+
+  void handle_answer(const jump_msg& m) {
+    auto& p = parent_[part_.local_index(m.node)];
+    if (p != m.target) {
+      YGM_ASSERT(m.target < p);  // jumps only move down-id
+      p = m.target;
+      changed_ = true;
+    }
+  }
+
+  core::comm_world* world_;
+  std::uint64_t universe_;
+  graph::round_robin_partition part_;
+  std::vector<std::uint64_t> parent_;
+  bool changed_ = false;
+  core::mailbox<union_msg> unions_;
+  core::mailbox<jump_msg> queries_;
+  core::mailbox<jump_msg> answers_;
+};
+
+}  // namespace ygm::container

@@ -1,0 +1,192 @@
+// ygm::container::map — a distributed hash map over the mailbox.
+//
+// Keys are hash-partitioned across ranks. Mutations (insert / reduce /
+// erase) are one-way messages; lookups are round trips: async_get ships a
+// request to the owner and the reply is delivered back through a second
+// mailbox, invoking the caller's callback on the requesting rank. YGM has
+// no remote-procedure-call semantics (paper §II), so the message protocol
+// is a fixed tagged union rather than shipped closures.
+//
+// The reduction operator is fixed at construction (like a reducer in a
+// combiner tree); async_reduce(k, v) folds v into the stored value with it.
+//
+// wait_empty() is collective and loops until no rank has outstanding
+// requests OR replies, so reply callbacks may themselves issue further
+// async operations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "mpisim/ops.hpp"
+
+namespace ygm::container {
+
+template <class Key, class Value, class Hash = std::hash<Key>>
+class map {
+ public:
+  using get_callback = std::function<void(const Key&, std::optional<Value>)>;
+  using reducer_fn = std::function<Value(const Value&, const Value&)>;
+
+  /// `reducer` is used by async_reduce; defaults to "keep the new value".
+  explicit map(
+      core::comm_world& world,
+      reducer_fn reducer = [](const Value&, const Value& b) { return b; },
+      std::size_t mailbox_capacity = core::default_mailbox_capacity)
+      : world_(&world),
+        reducer_(std::move(reducer)),
+        requests_(world, [this](const request_msg& m) { serve(m); },
+                  mailbox_capacity),
+        replies_(world, [this](const reply_msg& m) { resolve(m); },
+                 mailbox_capacity) {}
+
+  // ------------------------------------------------------------ mutations
+
+  /// Overwrite the value at key.
+  void async_insert(const Key& k, const Value& v) {
+    requests_.send(owner(k), request_msg{op_kind::insert, k, v, 0, 0});
+  }
+
+  /// Fold v into the stored value with the reducer (insert if absent).
+  void async_reduce(const Key& k, const Value& v) {
+    requests_.send(owner(k), request_msg{op_kind::reduce, k, v, 0, 0});
+  }
+
+  void async_erase(const Key& k) {
+    requests_.send(owner(k), request_msg{op_kind::erase, k, Value{}, 0, 0});
+  }
+
+  // -------------------------------------------------------------- lookups
+
+  /// Fetch the value at key; cb runs later on THIS rank with
+  /// (key, value-or-nullopt). Requires a wait_empty() (or polling) to make
+  /// progress.
+  void async_get(const Key& k, get_callback cb) {
+    const std::uint64_t id = next_request_id_++;
+    pending_.emplace(id, std::move(cb));
+    requests_.send(owner(k), request_msg{op_kind::get, k, Value{},
+                                         world_->rank(), id});
+  }
+
+  // ------------------------------------------------------------ progress
+
+  /// Collective: drain requests and replies until globally quiescent, even
+  /// when reply callbacks spawn further operations.
+  void wait_empty() {
+    for (;;) {
+      requests_.wait_empty();
+      replies_.wait_empty();
+      const std::uint64_t activity =
+          requests_.stats().app_sends + replies_.stats().app_sends;
+      const auto total =
+          world_->mpi().allreduce(activity, mpisim::op_sum{});
+      if (total == last_activity_) break;
+      last_activity_ = total;
+    }
+    YGM_ASSERT(pending_.empty());
+  }
+
+  // ------------------------------------------------------------- queries
+
+  /// Local shard access (valid after wait_empty()).
+  const std::unordered_map<Key, Value, Hash>& local_map() const noexcept {
+    return store_;
+  }
+
+  template <class F>
+  void for_all(F&& fn) const {
+    for (const auto& [k, v] : store_) fn(k, v);
+  }
+
+  std::uint64_t local_size() const noexcept { return store_.size(); }
+
+  /// Collective: global key count.
+  std::uint64_t global_size() const {
+    return world_->mpi().allreduce(local_size(), mpisim::op_sum{});
+  }
+
+  /// Owning rank of a key (hash partitioned; stable across ranks).
+  int owner(const Key& k) const {
+    return static_cast<int>(splitmix64(Hash{}(k)) %
+                            static_cast<std::uint64_t>(world_->size()));
+  }
+
+  core::comm_world& world() const noexcept { return *world_; }
+
+ private:
+  enum class op_kind : std::uint8_t { insert, reduce, erase, get };
+
+  struct request_msg {
+    op_kind op = op_kind::insert;
+    Key key{};
+    Value value{};
+    int requester = 0;
+    std::uint64_t request_id = 0;
+
+    template <class Archive>
+    void serialize(Archive& ar) {
+      ar & op & key & value & requester & request_id;
+    }
+  };
+
+  struct reply_msg {
+    std::uint64_t request_id = 0;
+    bool found = false;
+    Key key{};
+    Value value{};
+
+    template <class Archive>
+    void serialize(Archive& ar) {
+      ar & request_id & found & key & value;
+    }
+  };
+
+  void serve(const request_msg& m) {
+    switch (m.op) {
+      case op_kind::insert:
+        store_[m.key] = m.value;
+        break;
+      case op_kind::reduce: {
+        auto [it, inserted] = store_.emplace(m.key, m.value);
+        if (!inserted) it->second = reducer_(it->second, m.value);
+        break;
+      }
+      case op_kind::erase:
+        store_.erase(m.key);
+        break;
+      case op_kind::get: {
+        const auto it = store_.find(m.key);
+        replies_.send(m.requester,
+                      reply_msg{m.request_id, it != store_.end(), m.key,
+                                it != store_.end() ? it->second : Value{}});
+        break;
+      }
+    }
+  }
+
+  void resolve(const reply_msg& m) {
+    const auto it = pending_.find(m.request_id);
+    YGM_ASSERT(it != pending_.end());
+    get_callback cb = std::move(it->second);
+    pending_.erase(it);
+    cb(m.key, m.found ? std::optional<Value>(m.value) : std::nullopt);
+  }
+
+  core::comm_world* world_;
+  reducer_fn reducer_;
+  std::unordered_map<Key, Value, Hash> store_;
+  std::unordered_map<std::uint64_t, get_callback> pending_;
+  std::uint64_t next_request_id_ = 0;
+  std::uint64_t last_activity_ = ~std::uint64_t{0};
+  core::mailbox<request_msg> requests_;
+  core::mailbox<reply_msg> replies_;
+};
+
+}  // namespace ygm::container

@@ -1,0 +1,146 @@
+// ygm::container::set — a distributed set of unique keys.
+//
+// Hash-partitioned membership with asynchronous inserts/erases and
+// round-trip async_contains queries; the delegate-id sets and visited sets
+// of the applications are this pattern.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "mpisim/ops.hpp"
+
+namespace ygm::container {
+
+template <class Key, class Hash = std::hash<Key>>
+class set {
+ public:
+  using contains_callback = std::function<void(const Key&, bool)>;
+
+  explicit set(core::comm_world& world,
+               std::size_t mailbox_capacity = core::default_mailbox_capacity)
+      : world_(&world),
+        requests_(world, [this](const request_msg& m) { serve(m); },
+                  mailbox_capacity),
+        replies_(world, [this](const reply_msg& m) { resolve(m); },
+                 mailbox_capacity) {}
+
+  void async_insert(const Key& k) {
+    requests_.send(owner(k), request_msg{op_kind::insert, k, 0, 0});
+  }
+
+  void async_erase(const Key& k) {
+    requests_.send(owner(k), request_msg{op_kind::erase, k, 0, 0});
+  }
+
+  /// Membership query; cb runs later on THIS rank with (key, found).
+  void async_contains(const Key& k, contains_callback cb) {
+    const std::uint64_t id = next_request_id_++;
+    pending_.emplace(id, std::move(cb));
+    requests_.send(owner(k),
+                   request_msg{op_kind::contains, k, world_->rank(), id});
+  }
+
+  /// Collective: drain all operations (reply callbacks may chain more).
+  void wait_empty() {
+    for (;;) {
+      requests_.wait_empty();
+      replies_.wait_empty();
+      const std::uint64_t activity =
+          requests_.stats().app_sends + replies_.stats().app_sends;
+      const auto total = world_->mpi().allreduce(activity, mpisim::op_sum{});
+      if (total == last_activity_) break;
+      last_activity_ = total;
+    }
+    YGM_ASSERT(pending_.empty());
+  }
+
+  const std::unordered_set<Key, Hash>& local_items() const noexcept {
+    return store_;
+  }
+
+  template <class F>
+  void for_all(F&& fn) const {
+    for (const auto& k : store_) fn(k);
+  }
+
+  std::uint64_t local_size() const noexcept { return store_.size(); }
+
+  std::uint64_t global_size() const {
+    return world_->mpi().allreduce(local_size(), mpisim::op_sum{});
+  }
+
+  int owner(const Key& k) const {
+    return static_cast<int>(splitmix64(Hash{}(k)) %
+                            static_cast<std::uint64_t>(world_->size()));
+  }
+
+  core::comm_world& world() const noexcept { return *world_; }
+
+ private:
+  enum class op_kind : std::uint8_t { insert, erase, contains };
+
+  struct request_msg {
+    op_kind op = op_kind::insert;
+    Key key{};
+    int requester = 0;
+    std::uint64_t request_id = 0;
+
+    template <class Archive>
+    void serialize(Archive& ar) {
+      ar & op & key & requester & request_id;
+    }
+  };
+
+  struct reply_msg {
+    std::uint64_t request_id = 0;
+    bool found = false;
+    Key key{};
+
+    template <class Archive>
+    void serialize(Archive& ar) {
+      ar & request_id & found & key;
+    }
+  };
+
+  void serve(const request_msg& m) {
+    switch (m.op) {
+      case op_kind::insert:
+        store_.insert(m.key);
+        break;
+      case op_kind::erase:
+        store_.erase(m.key);
+        break;
+      case op_kind::contains:
+        replies_.send(m.requester,
+                      reply_msg{m.request_id, store_.count(m.key) != 0,
+                                m.key});
+        break;
+    }
+  }
+
+  void resolve(const reply_msg& m) {
+    const auto it = pending_.find(m.request_id);
+    YGM_ASSERT(it != pending_.end());
+    contains_callback cb = std::move(it->second);
+    pending_.erase(it);
+    cb(m.key, m.found);
+  }
+
+  core::comm_world* world_;
+  std::unordered_set<Key, Hash> store_;
+  std::unordered_map<std::uint64_t, contains_callback> pending_;
+  std::uint64_t next_request_id_ = 0;
+  std::uint64_t last_activity_ = ~std::uint64_t{0};
+  core::mailbox<request_msg> requests_;
+  core::mailbox<reply_msg> replies_;
+};
+
+}  // namespace ygm::container

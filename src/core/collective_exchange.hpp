@@ -1,0 +1,188 @@
+// Synchronous collective exchange — the ALLTOALLV implementation of the
+// routing phases (paper §III-A).
+//
+// The paper notes the local/remote exchanges "could be implemented with
+// ALLTOALLV calls", and that on systems with optimized collectives (IBM
+// BG/Q Sequoia) that variant gave better bandwidth utilization. This class
+// is that variant: every rank enters exchange() together with its outgoing
+// messages, and the scheme's phases run as one ALLTOALLV per phase over the
+// appropriate sub-communicator:
+//
+//   NoRoute     [ alltoallv(world) ]
+//   NodeLocal   [ alltoallv(node), alltoallv(core-offset channel) ]
+//   NodeRemote  [ alltoallv(core-offset channel), alltoallv(node) ]
+//   NLNR        [ alltoallv(node), alltoallv({c, l} pair channel),
+//                 alltoallv(node) ]
+//
+// For NLNR, each core belongs to exactly one remote channel — the one named
+// by the unordered pair {its core offset, its node's layer offset} — which
+// is how the paper's C(C-1)/2 + C channel count arises.
+//
+// Unlike the mailbox, this primitive is bulk-synchronous: all ranks must
+// call exchange() together, and nobody leaves a phase before everyone
+// finishes it. bench/abl_exchange_impl quantifies the trade against the
+// asynchronous mailbox.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/comm_world.hpp"
+#include "ser/serialize.hpp"
+
+namespace ygm::core {
+
+template <class Msg>
+class collective_exchange {
+ public:
+  /// Collective construction (splits the phase sub-communicators).
+  explicit collective_exchange(comm_world& world) : world_(&world) {
+    const auto& topo = world.topo();
+    const int me = world.rank();
+
+    // Local phase communicator: everyone on my node.
+    phases_by_kind();
+    if (needs_local_) {
+      node_comm_.emplace(world.mpi().split(topo.node_of(me), topo.core_of(me)));
+      build_translation(*node_comm_, node_to_sub_);
+    }
+    if (needs_remote_) {
+      int color = 0;
+      switch (world.route().kind()) {
+        case routing::scheme_kind::no_route:
+          color = 0;  // one global channel
+          break;
+        case routing::scheme_kind::node_local:
+        case routing::scheme_kind::node_remote:
+          color = topo.core_of(me);  // one channel per core offset
+          break;
+        case routing::scheme_kind::nlnr: {
+          // Channel = unordered pair {core offset, layer offset}.
+          const int a = topo.core_of(me);
+          const int b = topo.layer_offset(topo.node_of(me));
+          const int lo = a < b ? a : b;
+          const int hi = a < b ? b : a;
+          color = lo * topo.cores + hi;
+          break;
+        }
+      }
+      remote_comm_.emplace(world.mpi().split(color, me));
+      build_translation(*remote_comm_, remote_to_sub_);
+    }
+  }
+
+  /// Collective: deliver every (destination, message) pair through the
+  /// scheme's phases. Returns the messages addressed to this rank.
+  std::vector<Msg> exchange(std::vector<std::pair<int, Msg>> outgoing) {
+    std::vector<Msg> delivered;
+    std::vector<wire> holding;
+    holding.reserve(outgoing.size());
+    const int me = world_->rank();
+    for (auto& [dst, msg] : outgoing) {
+      YGM_CHECK(dst >= 0 && dst < world_->size(),
+                "exchange destination invalid");
+      if (dst == me) {
+        delivered.push_back(std::move(msg));
+        continue;
+      }
+      holding.push_back(wire{dst, ser::to_bytes(msg)});
+    }
+
+    for (const phase p : phases_) {
+      auto& sub = p == phase::local ? *node_comm_ : *remote_comm_;
+      auto& to_sub = p == phase::local ? node_to_sub_ : remote_to_sub_;
+
+      std::vector<std::vector<wire>> sendbufs(
+          static_cast<std::size_t>(sub.size()));
+      std::vector<wire> keep;
+      for (auto& w : holding) {
+        const int nh = world_->route().next_hop(me, w.dst);
+        const auto it = to_sub.find(nh);
+        if (it == to_sub.end()) {
+          // Next hop is not in this phase's communicator: the message
+          // belongs to a later phase (e.g. a same-node destination during
+          // NodeRemote's remote phase).
+          keep.push_back(std::move(w));
+        } else {
+          sendbufs[static_cast<std::size_t>(it->second)].push_back(
+              std::move(w));
+        }
+      }
+      holding = std::move(keep);
+
+      auto received = sub.alltoallv(sendbufs);
+      for (auto& from_rank : received) {
+        for (auto& w : from_rank) {
+          if (w.dst == me) {
+            delivered.push_back(
+                ser::from_bytes<Msg>({w.payload.data(), w.payload.size()}));
+          } else {
+            holding.push_back(std::move(w));
+          }
+        }
+      }
+    }
+    YGM_CHECK(holding.empty(),
+              "undelivered messages after the final phase — routing scheme "
+              "and phase structure disagree");
+    return delivered;
+  }
+
+ private:
+  enum class phase { local, remote };
+
+  /// In-flight representation: final destination + serialized payload.
+  struct wire {
+    int dst = 0;
+    std::vector<std::byte> payload;
+
+    template <class Archive>
+    void serialize(Archive& ar) {
+      ar & dst & payload;
+    }
+  };
+
+  void phases_by_kind() {
+    switch (world_->route().kind()) {
+      case routing::scheme_kind::no_route:
+        phases_ = {phase::remote};
+        needs_remote_ = true;
+        break;
+      case routing::scheme_kind::node_local:
+        phases_ = {phase::local, phase::remote};
+        needs_local_ = needs_remote_ = true;
+        break;
+      case routing::scheme_kind::node_remote:
+        phases_ = {phase::remote, phase::local};
+        needs_local_ = needs_remote_ = true;
+        break;
+      case routing::scheme_kind::nlnr:
+        phases_ = {phase::local, phase::remote, phase::local};
+        needs_local_ = needs_remote_ = true;
+        break;
+    }
+  }
+
+  void build_translation(const mpisim::comm& sub,
+                         std::unordered_map<int, int>& to_sub) {
+    const auto world_ranks = sub.allgather(world_->rank());
+    for (int i = 0; i < static_cast<int>(world_ranks.size()); ++i) {
+      to_sub.emplace(world_ranks[static_cast<std::size_t>(i)], i);
+    }
+  }
+
+  comm_world* world_;
+  std::vector<phase> phases_;
+  bool needs_local_ = false;
+  bool needs_remote_ = false;
+  std::optional<mpisim::comm> node_comm_;
+  std::optional<mpisim::comm> remote_comm_;
+  std::unordered_map<int, int> node_to_sub_;    // world rank -> node subrank
+  std::unordered_map<int, int> remote_to_sub_;  // world rank -> chan subrank
+};
+
+}  // namespace ygm::core

@@ -1,0 +1,42 @@
+#include "core/comm_world.hpp"
+
+#include "common/assert.hpp"
+
+namespace ygm::core {
+
+namespace {
+
+// Mailbox tag blocks start high enough that applications can use low tags
+// for their own direct mpisim traffic on the same communicator.
+constexpr int kTagBlockBase = 1 << 20;
+
+routing::topology derive_topology(const mpisim::comm& c, int cores_per_node) {
+  YGM_CHECK(cores_per_node >= 1, "cores_per_node must be >= 1");
+  YGM_CHECK(c.size() % cores_per_node == 0,
+            "communicator size must be a multiple of cores_per_node");
+  return routing::topology(c.size() / cores_per_node, cores_per_node);
+}
+
+}  // namespace
+
+comm_world::comm_world(mpisim::comm& c, routing::topology topo,
+                       routing::scheme_kind scheme)
+    : comm_(&c), router_(scheme, topo), next_tag_(kTagBlockBase) {
+  YGM_CHECK(topo.num_ranks() == c.size(),
+            "topology does not cover the communicator");
+}
+
+comm_world::comm_world(mpisim::comm& c, int cores_per_node,
+                       routing::scheme_kind scheme)
+    : comm_world(c, derive_topology(c, cores_per_node), scheme) {}
+
+int comm_world::reserve_tag_block(int count) {
+  YGM_CHECK(count > 0, "tag block must be non-empty");
+  const int base = next_tag_;
+  YGM_CHECK(base + count <= mpisim::tag_ub,
+            "tag space exhausted: too many mailboxes on one comm_world");
+  next_tag_ += count;
+  return base;
+}
+
+}  // namespace ygm::core

@@ -1,0 +1,105 @@
+// comm_world: the YGM view of the machine.
+//
+// Binds together the transport (an mpisim communicator), the (node, core)
+// topology the ranks are laid out on, and the routing scheme every mailbox
+// on this world uses. Also hands out disjoint tag blocks so several
+// mailboxes (and their termination detectors) can share one communicator
+// without interfering — YGM applications routinely layer multiple mailboxes
+// (e.g. connected components uses one for labels and broadcasts).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "mpisim/comm.hpp"
+#include "net/params.hpp"
+#include "routing/router.hpp"
+
+namespace ygm::core {
+
+class comm_world {
+ public:
+  /// The communicator's ranks must exactly cover the topology, laid out
+  /// node-major (rank = node*C + core), matching typical MPI blocked
+  /// placement of consecutive ranks on one physical node.
+  comm_world(mpisim::comm& c, routing::topology topo,
+             routing::scheme_kind scheme);
+
+  /// Convenience: derive the topology from the communicator size and a
+  /// cores-per-node count (size must divide evenly).
+  comm_world(mpisim::comm& c, int cores_per_node,
+             routing::scheme_kind scheme);
+
+  int rank() const noexcept { return comm_->rank(); }
+  int size() const noexcept { return comm_->size(); }
+  int node() const noexcept { return topo().node_of(rank()); }
+  int core() const noexcept { return topo().core_of(rank()); }
+
+  const routing::topology& topo() const noexcept { return router_.topo(); }
+  const routing::router& route() const noexcept { return router_; }
+  mpisim::comm& mpi() const noexcept { return *comm_; }
+
+  /// Reserve a block of point-to-point tags (for a mailbox's data plane and
+  /// termination plane). Blocks are disjoint per call, but identical across
+  /// ranks only if every rank constructs its mailboxes in the same order —
+  /// the same contract MPI communicators place on collective calls.
+  int reserve_tag_block(int count);
+
+  // Passthroughs used by applications between communication phases.
+  void barrier() const { comm_->barrier(); }
+  double wtime() const { return comm_->wtime(); }
+
+  // -------------------------------------------------------- virtual time
+  //
+  // Optional conservative virtual-time simulation: when a network model is
+  // attached (identically on every rank, BEFORE any mailbox is built), the
+  // mailboxes charge this rank's virtual clock for every transfer and
+  // message-handling event, and packet arrival times ride the wire — so an
+  // executed run also yields the time the SAME run would have taken on the
+  // modeled cluster, with true causal critical paths (unlike the analytic
+  // evaluator's symmetric average). Clocks only ever advance, so no
+  // rollback is needed.
+
+  /// Attach the model (collective by convention; same params everywhere).
+  void attach_virtual_network(const net::network_params& np) { vnet_ = np; }
+
+  bool timed() const noexcept { return vnet_.has_value(); }
+  const net::network_params& virtual_network() const { return *vnet_; }
+
+  /// This rank's virtual clock (seconds on the modeled machine).
+  double virtual_now() const noexcept { return vclock_; }
+
+  /// Advance the clock to an event time (packet arrival).
+  void virtual_advance_to(double t) noexcept {
+    vclock_ = std::max(vclock_, t);
+  }
+
+  /// Charge local CPU handling for n message events.
+  void virtual_charge_events(std::uint64_t n) noexcept {
+    if (vnet_) vclock_ += static_cast<double>(n) * vnet_->cpu_s_per_msg;
+  }
+
+  /// Charge one outgoing packet; returns its arrival time at the receiver.
+  double virtual_charge_packet(std::size_t bytes, bool remote) noexcept {
+    if (!vnet_) return 0;
+    const auto& link = remote ? vnet_->remote : vnet_->local;
+    vclock_ += link.transfer_time(static_cast<double>(bytes));
+    return vclock_;
+  }
+
+  /// Collective: the simulated completion time of the run so far (max over
+  /// ranks).
+  double virtual_elapsed() const {
+    return comm_->allreduce(vclock_, mpisim::op_max{});
+  }
+
+ private:
+  mpisim::comm* comm_;
+  routing::router router_;
+  int next_tag_;
+  std::optional<net::network_params> vnet_;
+  double vclock_ = 0;
+};
+
+}  // namespace ygm::core

@@ -1,0 +1,354 @@
+// Hybrid "MPI + threads" mailbox (paper §VII, ongoing work).
+//
+// The MPI-only mailbox pays an on-node memory copy per local routing hop:
+// every local exchange serializes records into a packet that the
+// destination parses back out. The paper's hybrid direction gives node-local
+// ranks a shared address space so those copies disappear. In this
+// reproduction ranks already ARE threads of one process, so the hybrid is
+// implemented faithfully: each rank owns a shared inbox, node-local hops
+// hand over a reference-counted payload (no serialization, no packet
+// framing, and a broadcast's local fan-out shares ONE buffer), while remote
+// hops keep the coalesced-packet path over the transport.
+//
+// Semantics match core::mailbox exactly — same routing schemes, same
+// termination counting (shared-queue pushes and pops count as hops) — so
+// the two are interchangeable; bench/abl_hybrid measures the difference.
+//
+// Trade-off (also true of the paper's design): local traffic is no longer
+// coalesced, which costs nothing in shared memory but means the capacity
+// bound applies to remote buffers only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "core/packet.hpp"
+#include "core/stats.hpp"
+#include "core/termination.hpp"
+#include "ser/serialize.hpp"
+
+namespace ygm::core {
+
+namespace detail {
+
+/// One record handed over in shared memory: the serialized payload is
+/// reference-counted so broadcast fan-out and multi-hop forwards share it.
+struct shared_record {
+  std::shared_ptr<const std::vector<std::byte>> payload;
+  int addr = -1;
+  bool is_bcast = false;
+  double arrival_vtime = 0;  ///< virtual-time arrival stamp (timed worlds)
+};
+
+/// A rank's node-local inbox (multi-producer, single-consumer).
+class shared_inbox {
+ public:
+  void push(shared_record&& rec) {
+    std::lock_guard lock(mtx_);
+    q_.push_back(std::move(rec));
+  }
+
+  /// Move everything out (returns empty when nothing arrived).
+  std::vector<shared_record> drain() {
+    std::lock_guard lock(mtx_);
+    return std::exchange(q_, {});
+  }
+
+ private:
+  std::mutex mtx_;
+  std::vector<shared_record> q_;
+};
+
+}  // namespace detail
+
+template <class Msg>
+class hybrid_mailbox {
+ public:
+  using recv_callback = std::function<void(const Msg&)>;
+
+  hybrid_mailbox(comm_world& world, recv_callback on_recv,
+                 std::size_t capacity_bytes = default_mailbox_capacity)
+      : world_(&world),
+        on_recv_(std::move(on_recv)),
+        capacity_(capacity_bytes),
+        data_tag_(world.reserve_tag_block(2 + termination_detector::tags_used)),
+        term_(world, data_tag_ + 2),
+        inbox_(std::make_unique<detail::shared_inbox>()),
+        buffers_(static_cast<std::size_t>(world.size())),
+        record_counts_(static_cast<std::size_t>(world.size()), 0) {
+    YGM_CHECK(capacity_ > 0, "mailbox capacity must be positive");
+    YGM_CHECK(on_recv_ != nullptr, "mailbox requires a receive callback");
+    // Collective setup: publish every rank's inbox address. Node-local
+    // ranks are threads of this process, so the pointers are usable —
+    // exactly the shared address space the hybrid design assumes.
+    const auto ptrs = world.mpi().allgather(
+        reinterpret_cast<std::uintptr_t>(inbox_.get()));
+    peer_inboxes_.resize(ptrs.size());
+    for (std::size_t r = 0; r < ptrs.size(); ++r) {
+      peer_inboxes_[r] =
+          reinterpret_cast<detail::shared_inbox*>(ptrs[r]);
+    }
+  }
+
+  hybrid_mailbox(const hybrid_mailbox&) = delete;
+  hybrid_mailbox& operator=(const hybrid_mailbox&) = delete;
+
+  /// Destruction is collective: peers hold raw pointers to this rank's
+  /// shared inbox, so ranks must stop pushing before any inbox dies. The
+  /// barrier enforces that; callers should have reached quiescence
+  /// (wait_empty) first. Swallows transport errors so unwinding after an
+  /// aborted world cannot terminate.
+  ~hybrid_mailbox() {
+    try {
+      world_->mpi().barrier();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+
+  // ------------------------------------------------------------- sending
+
+  void send(int dest, const Msg& m) {
+    YGM_CHECK(dest >= 0 && dest < world_->size(), "send destination invalid");
+    ++stats_.app_sends;
+    if (dest == world_->rank()) {
+      ++stats_.deliveries;
+      on_recv_(m);
+      return;
+    }
+    auto payload = std::make_shared<std::vector<std::byte>>();
+    ser::append_bytes(m, *payload);
+    forward(world_->route().next_hop(world_->rank(), dest),
+            detail::shared_record{std::move(payload), dest, false});
+    maybe_exchange();
+  }
+
+  void send_bcast(const Msg& m) {
+    ++stats_.app_bcasts;
+    auto payload = std::make_shared<std::vector<std::byte>>();
+    ser::append_bytes(m, *payload);
+    const int me = world_->rank();
+    for (int nh : world_->route().bcast_next_hops(me, me)) {
+      forward(nh, detail::shared_record{payload, me, true});
+    }
+    maybe_exchange();
+  }
+
+  // ------------------------------------------------------------ progress
+
+  void poll() {
+    poll_incoming();
+    if (queued_bytes_ >= capacity_) flush();
+  }
+
+  void flush() {
+    bool any = false;
+    for (int nh : nonempty_) {
+      flush_buffer(nh);
+      any = true;
+    }
+    nonempty_.clear();
+    queued_bytes_ = 0;
+    if (any) ++stats_.flushes;
+  }
+
+  // ---------------------------------------------------------- termination
+
+  bool test_empty() {
+    poll_incoming();
+    flush();
+    return term_.poll(stats_.hops_sent, stats_.hops_received);
+  }
+
+  void wait_empty() {
+    std::uint64_t prev_sent = ~std::uint64_t{0};
+    std::uint64_t prev_recv = ~std::uint64_t{0};
+    for (;;) {
+      poll_incoming();
+      flush();
+      const auto totals = world_->mpi().allreduce(
+          std::pair<std::uint64_t, std::uint64_t>{stats_.hops_sent,
+                                                  stats_.hops_received},
+          [](const auto& a, const auto& b) {
+            return std::pair<std::uint64_t, std::uint64_t>{
+                a.first + b.first, a.second + b.second};
+          });
+      if (totals.first == totals.second && totals.first == prev_sent &&
+          totals.second == prev_recv) {
+        break;
+      }
+      prev_sent = totals.first;
+      prev_recv = totals.second;
+    }
+  }
+
+  const mailbox_stats& stats() const noexcept { return stats_; }
+  comm_world& world() const noexcept { return *world_; }
+
+  /// Zero-copy local handoffs performed (the copies the hybrid saved).
+  std::uint64_t shared_handoffs() const noexcept { return shared_handoffs_; }
+
+ private:
+  // Route one record to its next hop: shared-memory handoff if local,
+  // coalescing buffer if remote.
+  void forward(int next_hop, detail::shared_record&& rec) {
+    YGM_ASSERT(next_hop != world_->rank());
+    ++stats_.hops_sent;
+    world_->virtual_charge_events(1);
+    if (world_->topo().same_node(world_->rank(), next_hop)) {
+      ++shared_handoffs_;
+      ++stats_.local_packets;  // one handoff ~ one (unserialized) packet
+      stats_.local_bytes += rec.payload->size();
+      if (world_->timed()) {
+        // A zero-copy handoff still crosses shared memory once.
+        rec.arrival_vtime =
+            world_->virtual_charge_packet(rec.payload->size(),
+                                          /*remote=*/false);
+      }
+      peer_inboxes_[static_cast<std::size_t>(next_hop)]->push(std::move(rec));
+      return;
+    }
+    auto& buf = buffers_[static_cast<std::size_t>(next_hop)];
+    if (buf.empty()) {
+      nonempty_.push_back(next_hop);
+      if (world_->timed()) buf.resize(sizeof(double));  // arrival-time slot
+    }
+    const std::size_t before = buf.size();
+    packet_append(buf, rec.is_bcast, rec.addr,
+                  {rec.payload->data(), rec.payload->size()});
+    queued_bytes_ += buf.size() - before;
+    ++record_counts_[static_cast<std::size_t>(next_hop)];
+    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+  }
+
+  void maybe_exchange() {
+    if (queued_bytes_ >= capacity_ && !in_exchange_) {
+      in_exchange_ = true;
+      flush();
+      poll_incoming();
+      in_exchange_ = false;
+    }
+  }
+
+  void flush_buffer(int nh) {
+    auto& buf = buffers_[static_cast<std::size_t>(nh)];
+    YGM_ASSERT(!buf.empty());
+    YGM_ASSERT(world_->topo().is_remote(world_->rank(), nh));
+    ++stats_.remote_packets;
+    stats_.remote_bytes += buf.size();
+    // Hop counting happened at forward() time for the hybrid (local and
+    // remote alike), so flushing only ships bytes.
+    record_counts_[static_cast<std::size_t>(nh)] = 0;
+    if (world_->timed()) {
+      const double arrival =
+          world_->virtual_charge_packet(buf.size(), /*remote=*/true);
+      std::memcpy(buf.data(), &arrival, sizeof(double));
+    }
+    world_->mpi().send_bytes(nh, data_tag_, std::move(buf));
+    buf = {};
+  }
+
+  void poll_incoming() {
+    const bool outer = !in_exchange_;
+    if (outer) in_exchange_ = true;
+
+    // Shared-memory records first (they are the cheap path).
+    for (auto& rec : inbox_->drain()) {
+      ++stats_.hops_received;
+      world_->virtual_advance_to(rec.arrival_vtime);
+      world_->virtual_charge_events(1);
+      handle_record(std::move(rec));
+    }
+
+    auto& mpi = world_->mpi();
+    while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
+      const auto packet = mpi.recv_bytes(st->source, data_tag_);
+      std::span<const std::byte> body(packet.data(), packet.size());
+      if (world_->timed()) {
+        double arrival = 0;
+        YGM_CHECK(body.size() >= sizeof(double), "timed packet missing stamp");
+        std::memcpy(&arrival, body.data(), sizeof(double));
+        world_->virtual_advance_to(arrival);
+        body = body.subspan(sizeof(double));
+      }
+      packet_reader reader(body);
+      while (!reader.done()) {
+        const packet_record rec = reader.next();
+        ++stats_.hops_received;
+        world_->virtual_charge_events(1);
+        // Rewrap into a shared record (one copy — the unavoidable
+        // deserialization of wire bytes).
+        auto payload = std::make_shared<std::vector<std::byte>>(
+            rec.payload.begin(), rec.payload.end());
+        handle_record(detail::shared_record{std::move(payload), rec.addr,
+                                            rec.is_bcast, 0.0});
+      }
+      // A remote packet may have arrived while we were draining; loop picks
+      // it up. Shared records that arrived meanwhile are caught by the next
+      // poll (or the termination rounds).
+    }
+    for (auto& rec : inbox_->drain()) {
+      ++stats_.hops_received;
+      world_->virtual_advance_to(rec.arrival_vtime);
+      world_->virtual_charge_events(1);
+      handle_record(std::move(rec));
+    }
+
+    if (outer) in_exchange_ = false;
+  }
+
+  void handle_record(detail::shared_record&& rec) {
+    const int me = world_->rank();
+    if (rec.is_bcast) {
+      YGM_ASSERT(rec.addr != me);
+      deliver(*rec.payload);
+      for (int nh : world_->route().bcast_next_hops(me, rec.addr)) {
+        ++stats_.forwards;
+        forward(nh, detail::shared_record{rec.payload, rec.addr, true});
+      }
+    } else if (rec.addr == me) {
+      deliver(*rec.payload);
+    } else {
+      ++stats_.forwards;
+      forward(world_->route().next_hop(me, rec.addr), std::move(rec));
+    }
+  }
+
+  void deliver(const std::vector<std::byte>& payload) {
+    Msg m{};
+    ser::iarchive ar({payload.data(), payload.size()});
+    ar & m;
+    YGM_CHECK(ar.exhausted(), "message payload has trailing bytes");
+    ++stats_.deliveries;
+    on_recv_(m);
+  }
+
+  comm_world* world_;
+  recv_callback on_recv_;
+  std::size_t capacity_;
+  int data_tag_;
+  termination_detector term_;
+
+  std::unique_ptr<detail::shared_inbox> inbox_;
+  std::vector<detail::shared_inbox*> peer_inboxes_;
+
+  std::vector<std::vector<std::byte>> buffers_;  // remote next hops only
+  std::vector<std::uint32_t> record_counts_;
+  std::vector<int> nonempty_;
+  std::size_t queued_bytes_ = 0;
+  bool in_exchange_ = false;
+  std::uint64_t shared_handoffs_ = 0;
+
+  mailbox_stats stats_;
+};
+
+}  // namespace ygm::core

@@ -1,0 +1,301 @@
+// The YGM mailbox (paper §IV) — the library's public centerpiece.
+//
+// A mailbox is created with a receive callback and a capacity. send() and
+// send_bcast() queue messages into per-next-hop coalescing buffers; when the
+// queued volume reaches capacity the rank enters a communication context
+// (an *exchange*): it flushes its buffers and drains whatever has already
+// arrived — delivering messages addressed to it and forwarding messages it
+// holds as a routing intermediary — then returns to computation. No global
+// barrier is involved, so fast ranks are never tied to the slowest rank
+// (pseudo-asynchronicity), yet capacity-triggered exchanges keep a slow
+// rank from accumulating unbounded unhandled messages.
+//
+// Message addressing is delegated entirely to the routing scheme of the
+// comm_world (paper §III): each queued record is keyed by
+// router::next_hop(), so the node-local / node-remote / NLNR exchange
+// phases emerge from repeated forwarding without the mailbox knowing the
+// scheme. Broadcasts (paper §III's asynchronous SEND_BCAST) ride the same
+// machinery via router::bcast_next_hops().
+//
+// Termination (paper §IV-B): wait_empty() blocks until globally quiescent
+// (collective: every rank must call it); test_empty() is the nonblocking
+// variant for applications that drive external work queues.
+//
+// Receive callbacks may themselves send() and send_bcast(), producing the
+// data-dependent cascades the paper targets (BFS frontiers, label
+// propagation, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/comm_world.hpp"
+#include "core/packet.hpp"
+#include "core/stats.hpp"
+#include "core/termination.hpp"
+#include "ser/serialize.hpp"
+
+namespace ygm::core {
+
+/// Default coalescing capacity: 2^18 bytes, the mailbox size used by the
+/// paper's scaling experiments (Figs. 6-8).
+inline constexpr std::size_t default_mailbox_capacity = std::size_t{1} << 18;
+
+template <class Msg>
+class mailbox {
+ public:
+  using recv_callback = std::function<void(const Msg&)>;
+
+  /// Every rank of the world must construct its mailboxes in the same order
+  /// (they consume matching tag blocks). `capacity_bytes` bounds the total
+  /// queued record volume before an exchange is triggered.
+  mailbox(comm_world& world, recv_callback on_recv,
+          std::size_t capacity_bytes = default_mailbox_capacity)
+      : world_(&world),
+        on_recv_(std::move(on_recv)),
+        capacity_(capacity_bytes),
+        data_tag_(world.reserve_tag_block(1 + termination_detector::tags_used)),
+        term_(world, data_tag_ + 1),
+        buffers_(static_cast<std::size_t>(world.size())),
+        record_counts_(static_cast<std::size_t>(world.size()), 0) {
+    YGM_CHECK(capacity_ > 0, "mailbox capacity must be positive");
+    YGM_CHECK(on_recv_ != nullptr, "mailbox requires a receive callback");
+  }
+
+  mailbox(const mailbox&) = delete;
+  mailbox& operator=(const mailbox&) = delete;
+
+  // ------------------------------------------------------------- sending
+
+  /// Queue a point-to-point message for rank `dest` (paper SEND). Messages
+  /// to self are delivered immediately through the callback.
+  void send(int dest, const Msg& m) {
+    YGM_CHECK(dest >= 0 && dest < world_->size(), "send destination invalid");
+    ++stats_.app_sends;
+    if (dest == world_->rank()) {
+      ++stats_.deliveries;
+      on_recv_(m);
+      return;
+    }
+    scratch_.clear();
+    ser::append_bytes(m, scratch_);
+    enqueue(world_->route().next_hop(world_->rank(), dest), /*bcast=*/false,
+            dest, scratch_);
+    maybe_exchange();
+  }
+
+  /// Queue a broadcast to every other rank (paper SEND_BCAST). Delivered
+  /// exactly once at every rank except the origin, along the routing
+  /// scheme's broadcast tree.
+  void send_bcast(const Msg& m) {
+    ++stats_.app_bcasts;
+    scratch_.clear();
+    ser::append_bytes(m, scratch_);
+    const int me = world_->rank();
+    for (int nh : world_->route().bcast_next_hops(me, me)) {
+      enqueue(nh, /*bcast=*/true, me, scratch_);
+    }
+    maybe_exchange();
+  }
+
+  // ------------------------------------------------------------ progress
+
+  /// Opportunistically deliver and forward whatever has arrived, without
+  /// blocking. Useful for ranks acting mostly as intermediaries while they
+  /// compute.
+  void poll() {
+    poll_incoming();
+    if (queued_bytes_ >= capacity_) flush();
+  }
+
+  /// Flush all coalescing buffers to their next hops, even partially full
+  /// ones (the paper's "including empty buffers" flush on termination).
+  void flush() {
+    bool any = false;
+    for (int nh : nonempty_) {
+      flush_buffer(nh);
+      any = true;
+    }
+    nonempty_.clear();
+    queued_bytes_ = 0;
+    if (any) ++stats_.flushes;
+  }
+
+  // ---------------------------------------------------------- termination
+
+  /// Nonblocking global-quiescence test (paper TEST_EMPTY). Flushes local
+  /// buffers, makes progress, and returns true only once every rank has
+  /// stopped producing messages and all hops have been received globally.
+  /// Every rank must keep polling for detection to complete.
+  bool test_empty() {
+    poll_incoming();
+    flush();
+    return term_.poll(stats_.hops_sent, stats_.hops_received);
+  }
+
+  /// Block until global quiescence (paper WAIT_EMPTY). Collective: every
+  /// rank of the world must call it. Keeps draining and forwarding while
+  /// waiting, so intermediaries stay live until everyone is done.
+  void wait_empty() {
+    std::uint64_t prev_sent = ~std::uint64_t{0};
+    std::uint64_t prev_recv = ~std::uint64_t{0};
+    for (;;) {
+      poll_incoming();
+      flush();
+      const auto totals = world_->mpi().allreduce(
+          std::pair<std::uint64_t, std::uint64_t>{stats_.hops_sent,
+                                                  stats_.hops_received},
+          [](const auto& a, const auto& b) {
+            return std::pair<std::uint64_t, std::uint64_t>{
+                a.first + b.first, a.second + b.second};
+          });
+      if (totals.first == totals.second && totals.first == prev_sent &&
+          totals.second == prev_recv) {
+        break;
+      }
+      prev_sent = totals.first;
+      prev_recv = totals.second;
+    }
+  }
+
+  // ----------------------------------------------------------- inspection
+
+  const mailbox_stats& stats() const noexcept { return stats_; }
+  comm_world& world() const noexcept { return *world_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t queued_bytes() const noexcept { return queued_bytes_; }
+
+ private:
+  void enqueue(int next_hop, bool is_bcast, int addr,
+               const std::vector<std::byte>& payload) {
+    YGM_ASSERT(next_hop != world_->rank());
+    world_->virtual_charge_events(1);
+    auto& buf = buffers_[static_cast<std::size_t>(next_hop)];
+    if (buf.empty()) {
+      nonempty_.push_back(next_hop);
+      // Reserve the packet's arrival-time slot (virtual-time mode).
+      if (world_->timed()) buf.resize(sizeof(double));
+    }
+    const std::size_t before = buf.size();
+    packet_append(buf, is_bcast, addr, payload);
+    queued_bytes_ += buf.size() - before;
+    ++record_counts_[static_cast<std::size_t>(next_hop)];
+    // Forwarding during an exchange can overfill the buffers; flush inline
+    // (without re-entering the poll loop).
+    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+  }
+
+  void maybe_exchange() {
+    if (queued_bytes_ >= capacity_ && !in_exchange_) {
+      in_exchange_ = true;
+      flush();
+      poll_incoming();
+      in_exchange_ = false;
+    }
+  }
+
+  void flush_buffer(int nh) {
+    auto& buf = buffers_[static_cast<std::size_t>(nh)];
+    YGM_ASSERT(!buf.empty());
+    const bool remote = world_->topo().is_remote(world_->rank(), nh);
+    if (remote) {
+      ++stats_.remote_packets;
+      stats_.remote_bytes += buf.size();
+    } else {
+      ++stats_.local_packets;
+      stats_.local_bytes += buf.size();
+    }
+    stats_.hops_sent += record_counts_[static_cast<std::size_t>(nh)];
+    record_counts_[static_cast<std::size_t>(nh)] = 0;
+    if (world_->timed()) {
+      // Charge the sender's virtual clock for the transfer and stamp the
+      // packet with its arrival time at the receiver.
+      const double arrival = world_->virtual_charge_packet(buf.size(), remote);
+      std::memcpy(buf.data(), &arrival, sizeof(double));
+    }
+    world_->mpi().send_bytes(nh, data_tag_, std::move(buf));
+    buf = {};
+  }
+
+  void poll_incoming() {
+    const bool outer = !in_exchange_;
+    if (outer) in_exchange_ = true;
+    auto& mpi = world_->mpi();
+    while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
+      const auto packet = mpi.recv_bytes(st->source, data_tag_);
+      handle_packet(packet);
+    }
+    if (outer) in_exchange_ = false;
+  }
+
+  void handle_packet(const std::vector<std::byte>& packet) {
+    const int me = world_->rank();
+    std::span<const std::byte> body(packet.data(), packet.size());
+    if (world_->timed()) {
+      // The receiver cannot see the packet before it arrives on the
+      // modeled machine: advance this rank's clock to the arrival stamp.
+      double arrival = 0;
+      YGM_CHECK(body.size() >= sizeof(double), "timed packet missing stamp");
+      std::memcpy(&arrival, body.data(), sizeof(double));
+      world_->virtual_advance_to(arrival);
+      body = body.subspan(sizeof(double));
+    }
+    packet_reader reader(body);
+    while (!reader.done()) {
+      const packet_record rec = reader.next();
+      ++stats_.hops_received;
+      world_->virtual_charge_events(1);
+      if (rec.is_bcast) {
+        YGM_ASSERT(rec.addr != me);  // bcast trees never loop to the origin
+        deliver(rec.payload);
+        const auto hops = world_->route().bcast_next_hops(me, rec.addr);
+        if (!hops.empty()) {
+          fwd_scratch_.assign(rec.payload.begin(), rec.payload.end());
+          for (int nh : hops) {
+            ++stats_.forwards;
+            enqueue(nh, /*bcast=*/true, rec.addr, fwd_scratch_);
+          }
+        }
+      } else if (rec.addr == me) {
+        deliver(rec.payload);
+      } else {
+        ++stats_.forwards;
+        fwd_scratch_.assign(rec.payload.begin(), rec.payload.end());
+        enqueue(world_->route().next_hop(me, rec.addr), /*bcast=*/false,
+                rec.addr, fwd_scratch_);
+      }
+    }
+  }
+
+  void deliver(std::span<const std::byte> payload) {
+    Msg m{};
+    ser::iarchive ar(payload);
+    ar & m;
+    YGM_CHECK(ar.exhausted(), "message payload has trailing bytes");
+    ++stats_.deliveries;
+    on_recv_(m);
+  }
+
+  comm_world* world_;
+  recv_callback on_recv_;
+  std::size_t capacity_;
+  int data_tag_;
+  termination_detector term_;
+
+  std::vector<std::vector<std::byte>> buffers_;  // keyed by next-hop rank
+  std::vector<std::uint32_t> record_counts_;
+  std::vector<int> nonempty_;
+  std::size_t queued_bytes_ = 0;
+  bool in_exchange_ = false;
+
+  std::vector<std::byte> scratch_;      // serialization of outgoing messages
+  std::vector<std::byte> fwd_scratch_;  // copy buffer for forwarded payloads
+  mailbox_stats stats_;
+};
+
+}  // namespace ygm::core

@@ -1,0 +1,78 @@
+// Coalesced-packet wire format.
+//
+// A packet is what one mailbox flush sends to one next-hop rank: a sequence
+// of message records, each carrying enough addressing for the receiver to
+// deliver or forward it. Message coalescing (paper §IV-A) lives here — the
+// per-record overhead is one or two varint bytes in the common case, so
+// bundling thousands of small messages into one MPI-level send amortizes
+// both network latency and metadata.
+//
+// Record layout:
+//   varint header  h = (addr << 1) | is_bcast
+//                  addr = final destination rank (p2p) or origin rank (bcast)
+//   varint len     payload byte count
+//   len bytes      serialized message payload
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "ser/varint.hpp"
+
+namespace ygm::core {
+
+/// Decoded view of one record inside a packet (payload not copied).
+struct packet_record {
+  bool is_bcast = false;
+  int addr = -1;  ///< destination rank (p2p) or origin rank (bcast)
+  std::span<const std::byte> payload;
+};
+
+/// Append one record to a packet under construction.
+inline void packet_append(std::vector<std::byte>& packet, bool is_bcast,
+                          int addr, std::span<const std::byte> payload) {
+  YGM_ASSERT(addr >= 0);
+  const std::uint64_t header =
+      (static_cast<std::uint64_t>(addr) << 1) | (is_bcast ? 1u : 0u);
+  ser::varint_encode(header, packet);
+  ser::varint_encode(payload.size(), packet);
+  packet.insert(packet.end(), payload.begin(), payload.end());
+}
+
+/// Upper bound on the encoded size of one record (for capacity accounting).
+inline std::size_t packet_record_size(int addr,
+                                      std::size_t payload_bytes) noexcept {
+  return ser::varint_size(static_cast<std::uint64_t>(addr) << 1) +
+         ser::varint_size(payload_bytes) + payload_bytes;
+}
+
+/// Streaming reader over a received packet.
+class packet_reader {
+ public:
+  explicit packet_reader(std::span<const std::byte> packet)
+      : p_(packet.data()), end_(packet.data() + packet.size()) {}
+
+  bool done() const noexcept { return p_ == end_; }
+
+  packet_record next() {
+    const std::uint64_t header = ser::varint_decode(p_, end_);
+    const std::uint64_t len = ser::varint_decode(p_, end_);
+    YGM_CHECK(len <= static_cast<std::uint64_t>(end_ - p_),
+              "truncated packet record");
+    packet_record rec;
+    rec.is_bcast = (header & 1u) != 0;
+    rec.addr = static_cast<int>(header >> 1);
+    rec.payload = std::span<const std::byte>(p_, static_cast<std::size_t>(len));
+    p_ += len;
+    return rec;
+  }
+
+ private:
+  const std::byte* p_;
+  const std::byte* end_;
+};
+
+}  // namespace ygm::core

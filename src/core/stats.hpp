@@ -1,0 +1,70 @@
+// Per-rank mailbox statistics.
+//
+// These counters are the bridge between executed runs and the network cost
+// model: benches run the real mailbox at thread scale, then price the
+// recorded local/remote packet traffic on the Fig. 5 bandwidth curve to
+// report modeled time next to wall time (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "net/params.hpp"
+
+namespace ygm::core {
+
+struct mailbox_stats {
+  std::uint64_t app_sends = 0;       ///< user send() calls
+  std::uint64_t app_bcasts = 0;      ///< user send_bcast() calls
+  std::uint64_t deliveries = 0;      ///< receive-callback invocations
+  std::uint64_t hops_sent = 0;       ///< message-hop records flushed out
+  std::uint64_t hops_received = 0;   ///< message-hop records parsed in
+  std::uint64_t forwards = 0;        ///< records re-queued as intermediary
+  std::uint64_t local_packets = 0;   ///< coalesced packets to same-node ranks
+  std::uint64_t remote_packets = 0;  ///< coalesced packets across nodes
+  std::uint64_t local_bytes = 0;
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t flushes = 0;         ///< capacity-triggered exchanges
+
+  mailbox_stats& operator+=(const mailbox_stats& o) {
+    app_sends += o.app_sends;
+    app_bcasts += o.app_bcasts;
+    deliveries += o.deliveries;
+    hops_sent += o.hops_sent;
+    hops_received += o.hops_received;
+    forwards += o.forwards;
+    local_packets += o.local_packets;
+    remote_packets += o.remote_packets;
+    local_bytes += o.local_bytes;
+    remote_bytes += o.remote_bytes;
+    flushes += o.flushes;
+    return *this;
+  }
+
+  /// Average coalesced wire packet size — the quantity the routing schemes
+  /// exist to maximize (paper §III-E).
+  double avg_remote_packet_bytes() const {
+    return remote_packets == 0
+               ? 0.0
+               : static_cast<double>(remote_bytes) /
+                     static_cast<double>(remote_packets);
+  }
+
+  /// Price this rank's recorded traffic on a network model: transfer time
+  /// the traffic would cost on the modeled machine.
+  double modeled_comm_seconds(const net::network_params& np) const {
+    double t = 0;
+    if (remote_packets != 0) {
+      const double pkt = avg_remote_packet_bytes();
+      t += static_cast<double>(remote_packets) * np.remote.transfer_time(pkt);
+    }
+    if (local_packets != 0) {
+      const double pkt = static_cast<double>(local_bytes) /
+                         static_cast<double>(local_packets);
+      t += static_cast<double>(local_packets) * np.local.transfer_time(pkt);
+    }
+    t += static_cast<double>(hops_sent + hops_received) * np.cpu_s_per_msg;
+    return t;
+  }
+};
+
+}  // namespace ygm::core

@@ -1,0 +1,105 @@
+#include "core/termination.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ygm::core {
+
+namespace {
+using counts = std::pair<std::uint64_t, std::uint64_t>;
+}
+
+termination_detector::termination_detector(comm_world& world, int tag_base)
+    : world_(&world),
+      tag_base_(tag_base),
+      rank_(world.rank()),
+      size_(world.size()) {}
+
+int termination_detector::num_children() const noexcept {
+  int n = 0;
+  for (int i = 0; i < 2; ++i) {
+    if (child(i) < size_) ++n;
+  }
+  return n;
+}
+
+bool termination_detector::poll(std::uint64_t sent, std::uint64_t received) {
+  if (quiescent_) {
+    // Detection already fired; a further poll means the caller started a new
+    // communication epoch. Resume rounds with the four-counter memory intact
+    // (counters are monotonic, so stale history stays sound).
+    quiescent_ = false;
+  }
+
+  auto& mpi = world_->mpi();
+
+  if (size_ == 1) {
+    // Single rank: quiescent iff balanced and stable across two polls.
+    const bool q = sent == received && sent == prev_sent_ &&
+                   received == prev_recv_;
+    prev_sent_ = sent;
+    prev_recv_ = received;
+    ++round_;
+    quiescent_ = q;
+    return q;
+  }
+
+  for (;;) {
+    if (stage_ == stage::gather_children) {
+      if (!children_initialized_) {
+        children_pending_ = num_children();
+        acc_sent_ = 0;
+        acc_recv_ = 0;
+        children_initialized_ = true;
+      }
+      while (children_pending_ > 0) {
+        // Children send on the round-specific tag; any child's message works.
+        const auto st = mpi.iprobe(mpisim::any_source, contrib_tag());
+        if (!st) return false;  // no progress possible without blocking
+        const auto c = mpi.recv<counts>(st->source, contrib_tag());
+        acc_sent_ += c.first;
+        acc_recv_ += c.second;
+        --children_pending_;
+      }
+      // Subtree complete: fold in our own sample, taken now (after the
+      // previous round's sample, as the four-counter method requires).
+      acc_sent_ += sent;
+      acc_recv_ += received;
+      if (rank_ == 0) {
+        const bool q = acc_sent_ == acc_recv_ && acc_sent_ == prev_sent_ &&
+                       acc_recv_ == prev_recv_;
+        prev_sent_ = acc_sent_;
+        prev_recv_ = acc_recv_;
+        for (int i = 0; i < 2; ++i) {
+          if (child(i) < size_) mpi.send(q, child(i), verdict_tag());
+        }
+        apply_verdict(q);
+        if (quiescent_) return true;
+        continue;  // next round may already be able to progress
+      }
+      mpi.send(counts{acc_sent_, acc_recv_}, parent(), contrib_tag());
+      stage_ = stage::await_verdict;
+    }
+
+    if (stage_ == stage::await_verdict) {
+      const auto st = mpi.iprobe(parent(), verdict_tag());
+      if (!st) return false;
+      const bool q = mpi.recv<bool>(parent(), verdict_tag());
+      for (int i = 0; i < 2; ++i) {
+        if (child(i) < size_) mpi.send(q, child(i), verdict_tag());
+      }
+      apply_verdict(q);
+      if (quiescent_) return true;
+    }
+  }
+}
+
+void termination_detector::apply_verdict(bool quiescent) {
+  ++round_;
+  stage_ = stage::gather_children;
+  children_initialized_ = false;
+  quiescent_ = quiescent;
+}
+
+}  // namespace ygm::core

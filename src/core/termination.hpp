@@ -1,0 +1,75 @@
+// Nonblocking global termination detection (paper §IV-B).
+//
+// YGM terminates when every rank has finished producing messages and the
+// global number of message-hops sent equals the number received. WAIT_EMPTY
+// can use blocking collectives, but TEST_EMPTY must make progress without
+// blocking — frameworks like HavoqGT poll it while draining their own work
+// queues. This detector implements the four-counter method (Mattern): rounds
+// of a tree reduction of (sent, received); quiescence is declared when two
+// consecutive rounds agree and are internally balanced:
+//     S_k == R_k == S_{k-1} == R_{k-1}.
+// Each poll() call advances the state machine as far as incoming messages
+// allow and never blocks.
+#pragma once
+
+#include <cstdint>
+
+#include "core/comm_world.hpp"
+
+namespace ygm::core {
+
+class termination_detector {
+ public:
+  /// Number of point-to-point tags the detector consumes.
+  static constexpr int tags_used = 8;
+
+  /// tag_base must come from comm_world::reserve_tag_block(tags_used) and be
+  /// identical on every rank.
+  termination_detector(comm_world& world, int tag_base);
+
+  /// Drive the protocol. `sent`/`received` are this rank's monotonically
+  /// increasing hop counters; the caller must flush its send buffers before
+  /// polling so buffered-but-unsent messages cannot masquerade as
+  /// quiescence. Returns true once global quiescence is confirmed; a
+  /// subsequent poll() after new communication starts a fresh detection.
+  bool poll(std::uint64_t sent, std::uint64_t received);
+
+  /// Rounds completed so far (diagnostics / tests).
+  std::uint64_t rounds() const noexcept { return round_; }
+
+ private:
+  enum class stage { gather_children, await_verdict };
+
+  int parent() const noexcept { return (rank_ - 1) / 2; }
+  int child(int i) const noexcept { return 2 * rank_ + 1 + i; }
+  int num_children() const noexcept;
+
+  int contrib_tag() const noexcept {
+    return tag_base_ + static_cast<int>(round_ % 4);
+  }
+  int verdict_tag() const noexcept {
+    return tag_base_ + 4 + static_cast<int>(round_ % 4);
+  }
+
+  void apply_verdict(bool quiescent);
+
+  comm_world* world_;
+  int tag_base_;
+  int rank_;
+  int size_;
+
+  stage stage_ = stage::gather_children;
+  std::uint64_t round_ = 0;
+  int children_pending_ = 0;
+  bool children_initialized_ = false;
+  std::uint64_t acc_sent_ = 0;   // accumulated subtree counts this round
+  std::uint64_t acc_recv_ = 0;
+
+  // Root-only: previous round's global totals (four-counter memory).
+  std::uint64_t prev_sent_ = ~0ULL;
+  std::uint64_t prev_recv_ = ~0ULL;
+
+  bool quiescent_ = false;  // sticky until the next poll after detection
+};
+
+}  // namespace ygm::core

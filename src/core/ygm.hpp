@@ -1,0 +1,25 @@
+// Umbrella header: everything a YGM application needs.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   ygm::mpisim::run(n_ranks, [](ygm::mpisim::comm& c) {
+//     ygm::core::comm_world world(c, /*cores_per_node=*/4,
+//                                 ygm::routing::scheme_kind::nlnr);
+//     ygm::core::mailbox<MyMsg> mb(world, [&](const MyMsg& m) { ... });
+//     mb.send(dest, msg);
+//     mb.send_bcast(msg);
+//     mb.wait_empty();
+//   });
+#pragma once
+
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
+#include "core/packet.hpp"
+#include "core/stats.hpp"
+#include "core/termination.hpp"
+#include "mpisim/runtime.hpp"
+#include "net/evaluator.hpp"
+#include "net/params.hpp"
+#include "routing/router.hpp"
+#include "routing/topology.hpp"
+#include "ser/serialize.hpp"

@@ -1,0 +1,44 @@
+#include "graph/degree_model.hpp"
+
+#include <cmath>
+
+namespace ygm::graph {
+
+double rmat_degree_model::class_size(int k) const {
+  // log-space binomial coefficient C(scale, k).
+  return std::exp(std::lgamma(scale_ + 1.0) - std::lgamma(k + 1.0) -
+                  std::lgamma(scale_ - k + 1.0));
+}
+
+double rmat_degree_model::class_degree(int k) const {
+  const double row_heavy = params_.a + params_.b;  // out-edge marginal
+  const double col_heavy = params_.a + params_.c;  // in-edge marginal
+  const double m = static_cast<double>(edges_);
+  const double out =
+      m * std::pow(row_heavy, scale_ - k) * std::pow(1.0 - row_heavy, k);
+  const double in =
+      m * std::pow(col_heavy, scale_ - k) * std::pow(1.0 - col_heavy, k);
+  return out + in;
+}
+
+double rmat_degree_model::count_degree_at_least(double threshold) const {
+  double count = 0;
+  for (int k = 0; k <= scale_; ++k) {
+    if (class_degree(k) >= threshold) count += class_size(k);
+  }
+  return count;
+}
+
+double rmat_degree_model::endpoint_fraction_degree_at_least(
+    double threshold) const {
+  double heavy = 0;
+  double total = 0;
+  for (int k = 0; k <= scale_; ++k) {
+    const double endpoints = class_size(k) * class_degree(k);
+    total += endpoints;
+    if (class_degree(k) >= threshold) heavy += endpoints;
+  }
+  return total > 0 ? heavy / total : 0.0;
+}
+
+}  // namespace ygm::graph

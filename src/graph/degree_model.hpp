@@ -1,0 +1,49 @@
+// Closed-form degree-tail model for RMAT graphs.
+//
+// RMAT vertices fall into degree classes by how many "light" recursion bits
+// their id contains: with symmetric Graph500 parameters, the C(s,k) vertices
+// whose row id has k light bits collect an expected
+//     m * (a+b)^(s-k) * (c+d)^k
+// out-edges (Seshadhri, Pinar & Kolda). The benchmark harness uses this to
+// predict, at paper scale (where graphs cannot be materialized on this
+// machine), how many vertices exceed a delegate threshold (Figs. 7a/8b) and
+// what fraction of the edges touch them — the quantities that drive
+// broadcast counts and delegate savings in the evaluation.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/rmat.hpp"
+
+namespace ygm::graph {
+
+class rmat_degree_model {
+ public:
+  rmat_degree_model(int scale, std::uint64_t num_edges, rmat_params params)
+      : scale_(scale), edges_(num_edges), params_(params) {}
+
+  /// Number of vertices in degree class k (= C(scale, k), as a double to
+  /// survive scale 42).
+  double class_size(int k) const;
+
+  /// Expected degree (out + in endpoint count) of a class-k vertex.
+  double class_degree(int k) const;
+
+  /// Expected number of vertices with degree >= threshold.
+  double count_degree_at_least(double threshold) const;
+
+  /// Expected fraction of edge endpoints that land on vertices with degree
+  /// >= threshold (the traffic a delegate scheme absorbs).
+  double endpoint_fraction_degree_at_least(double threshold) const;
+
+  /// Expected maximum degree (the class-0 hub), matching
+  /// graph::expected_max_degree up to the in-edge term.
+  double max_degree() const { return class_degree(0); }
+
+ private:
+  int scale_;
+  std::uint64_t edges_;
+  rmat_params params_;
+};
+
+}  // namespace ygm::graph

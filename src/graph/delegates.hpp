@@ -1,0 +1,64 @@
+// Delegate (high-degree vertex) handling (paper §V-B, following Pearce,
+// Gokhale & Amato's vertex delegates).
+//
+// Skewed graphs concentrate a large share of the edges on a few hubs; a 1D
+// partition then overloads the hubs' owner ranks. Delegates fix this: every
+// rank keeps a replica of each hub's state, hub edges are stored colocated
+// with their non-hub endpoint, and replica state is lazily synchronized
+// with YGM's asynchronous broadcasts — the paper's flagship use of
+// SEND_BCAST.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/comm_world.hpp"
+#include "graph/edge.hpp"
+#include "graph/rmat.hpp"
+
+namespace ygm::graph {
+
+/// The globally agreed set of delegate vertices, replicated on every rank.
+/// Delegate ids are mapped to dense replica slots [0, size) so replicated
+/// state can live in flat arrays.
+class delegate_set {
+ public:
+  delegate_set() = default;
+
+  /// Build from the globally sorted list of delegate vertex ids (identical
+  /// on every rank).
+  explicit delegate_set(std::vector<vertex_id> sorted_ids);
+
+  bool contains(vertex_id v) const { return slots_.count(v) != 0; }
+
+  /// Dense replica slot of a delegate id; precondition: contains(v).
+  std::uint64_t slot(vertex_id v) const { return slots_.at(v); }
+
+  vertex_id id_of_slot(std::uint64_t slot) const { return ids_[slot]; }
+
+  std::uint64_t size() const noexcept { return ids_.size(); }
+  const std::vector<vertex_id>& ids() const noexcept { return ids_; }
+
+ private:
+  std::vector<vertex_id> ids_;
+  std::unordered_map<vertex_id, std::uint64_t> slots_;
+};
+
+/// Collectively select delegates: every vertex whose (locally owned) degree
+/// meets `threshold` becomes a delegate, and the union is allgathered so all
+/// ranks agree. `local_degrees[i]` is the degree of the vertex with local
+/// index i under `part` on this rank.
+delegate_set select_delegates(core::comm_world& world,
+                              const std::vector<std::uint64_t>& local_degrees,
+                              const round_robin_partition& part,
+                              std::uint64_t threshold);
+
+/// Expected largest degree of an RMAT graph with 2^scale vertices and
+/// `num_edges` edges: the hottest row collects ~ num_edges * (a+b)^scale
+/// edges. The paper scales its delegate threshold with this quantity in the
+/// weak-scaling study (§VI-B).
+double expected_max_degree(int scale, std::uint64_t num_edges,
+                           const rmat_params& params);
+
+}  // namespace ygm::graph

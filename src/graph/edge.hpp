@@ -1,0 +1,42 @@
+// Basic edge and partitioning types shared by the graph substrate and the
+// applications.
+#pragma once
+
+#include <cstdint>
+
+namespace ygm::graph {
+
+using vertex_id = std::uint64_t;
+
+struct edge {
+  vertex_id src = 0;
+  vertex_id dst = 0;
+
+  bool operator==(const edge&) const = default;
+};
+
+/// The paper's 1D round-robin vertex partitioning (Algorithm 1): vertex v is
+/// owned by rank v % P and stored at local index v / P.
+struct round_robin_partition {
+  int num_ranks = 1;
+
+  int owner(vertex_id v) const noexcept {
+    return static_cast<int>(v % static_cast<vertex_id>(num_ranks));
+  }
+  std::uint64_t local_index(vertex_id v) const noexcept {
+    return v / static_cast<vertex_id>(num_ranks);
+  }
+  vertex_id global_id(int rank, std::uint64_t local) const noexcept {
+    return local * static_cast<vertex_id>(num_ranks) +
+           static_cast<vertex_id>(rank);
+  }
+  /// Number of vertices stored locally at `rank` out of `num_vertices`.
+  std::uint64_t local_count(int rank, std::uint64_t num_vertices) const
+      noexcept {
+    return (num_vertices - static_cast<vertex_id>(rank) +
+            static_cast<vertex_id>(num_ranks) - 1) /
+           static_cast<vertex_id>(num_ranks);
+  }
+};
+
+}  // namespace ygm::graph

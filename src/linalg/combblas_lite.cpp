@@ -1,0 +1,105 @@
+#include "linalg/combblas_lite.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "mpisim/ops.hpp"
+
+namespace ygm::linalg {
+
+namespace {
+
+int int_sqrt(int p) {
+  int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+  while (q * q > p) --q;
+  while ((q + 1) * (q + 1) <= p) ++q;
+  return q;
+}
+
+}  // namespace
+
+combblas_lite::combblas_lite(mpisim::comm& comm, std::uint64_t n,
+                             std::vector<triplet> local_entries)
+    : world_(&comm),
+      n_(n),
+      q_(int_sqrt(comm.size())),
+      row_(comm.rank() / int_sqrt(comm.size())),
+      col_(comm.rank() % int_sqrt(comm.size())),
+      // Row communicator: ranks sharing my grid row; ordered by column.
+      row_comm_(comm.split(row_, col_)),
+      col_comm_(comm.split(q_ + col_, row_)) {
+  YGM_CHECK(q_ * q_ == comm.size(),
+            "combblas_lite requires a perfect-square number of ranks");
+  YGM_CHECK(n_ >= static_cast<std::uint64_t>(q_),
+            "matrix dimension smaller than the grid");
+
+  // Bulk-synchronous ingestion: one personalized all-to-all routes every
+  // triplet to the rank owning its 2D block.
+  std::vector<std::vector<triplet>> outgoing(
+      static_cast<std::size_t>(comm.size()));
+  for (const auto& t : local_entries) {
+    YGM_CHECK(t.row < n_ && t.col < n_, "triplet index out of range");
+    outgoing[static_cast<std::size_t>(owner_of(t.row, t.col))].push_back(t);
+  }
+  local_entries.clear();
+  local_entries.shrink_to_fit();
+  auto incoming = comm.alltoallv(outgoing);
+
+  // Rebase to block-local coordinates and build the CSC block.
+  const std::uint64_t r0 = block_begin(row_);
+  const std::uint64_t c0 = block_begin(col_);
+  std::vector<triplet> mine;
+  for (auto& v : incoming) {
+    for (auto& t : v) {
+      mine.push_back(triplet{t.row - r0, t.col - c0, t.value});
+    }
+    v.clear();
+  }
+  block_ = csc_matrix::from_triplets(block_size(row_), block_size(col_),
+                                     std::move(mine));
+}
+
+int combblas_lite::owner_of(std::uint64_t i, std::uint64_t j) const {
+  // Inverse of the block map: find the block containing the index. Blocks
+  // are balanced to within one, so a direct estimate needs at most one
+  // correction step in each direction.
+  const auto find_block = [&](std::uint64_t x) {
+    int b = static_cast<int>((x * static_cast<std::uint64_t>(q_)) / n_);
+    while (x < block_begin(b)) --b;
+    while (x >= block_end(b)) ++b;
+    return b;
+  };
+  return find_block(i) * q_ + find_block(j);
+}
+
+std::vector<double> combblas_lite::spmv(const std::vector<double>& x_block) {
+  // 1. Broadcast the x block down each grid column from the diagonal rank.
+  std::vector<double> x = x_block;
+  if (row_ == col_) {
+    YGM_CHECK(x.size() == block_size(col_), "x block has wrong length");
+  }
+  // Within col_comm_, ranks are keyed by grid row, so the diagonal rank of
+  // column `col_` sits at position `col_`.
+  col_comm_.bcast(x, /*root=*/col_);
+  bcast_bytes_ += x.size() * sizeof(double);
+
+  // 2. Local block multiply.
+  std::vector<double> y_part(block_size(row_), 0.0);
+  block_.multiply_add(x, y_part);
+
+  // 3. Reduce partial y blocks across each grid row to the diagonal rank.
+  reduce_bytes_ += y_part.size() * sizeof(double);
+  auto y = row_comm_.reduce(
+      y_part,
+      [](const std::vector<double>& a, const std::vector<double>& b) {
+        YGM_ASSERT(a.size() == b.size());
+        std::vector<double> r(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+        return r;
+      },
+      /*root=*/row_);
+  if (row_ != col_) y.assign(block_size(row_), 0.0);
+  return y;
+}
+
+}  // namespace ygm::linalg

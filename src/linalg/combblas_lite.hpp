@@ -1,0 +1,74 @@
+// CombBLAS-lite: a 2D-partitioned synchronous SpMV baseline.
+//
+// The paper compares YGM's SpMV against CombBLAS (Buluç & Gilbert), which
+// distributes the matrix over a sqrt(P) x sqrt(P) processor grid and runs
+// SpMV as synchronous collectives: broadcast the x block down each grid
+// column, multiply the local block, reduce partial y blocks across each grid
+// row. This module implements that algorithm over mpisim sub-communicators.
+// It captures exactly the property the paper contrasts with: perfectly
+// coalesced bulk-synchronous communication whose per-step collective volume
+// scales worse than YGM+NLNR at large node counts, but which wins at small
+// scale (Fig. 8 discussion; see DESIGN.md §2 for the substitution note).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/csc.hpp"
+#include "mpisim/comm.hpp"
+
+namespace ygm::linalg {
+
+class combblas_lite {
+ public:
+  /// Collective. Requires a perfect-square communicator size. Triplets may
+  /// be supplied on any rank; construction routes each entry to its grid
+  /// owner with one alltoallv (the bulk-synchronous ingestion CombBLAS
+  /// would use).
+  combblas_lite(mpisim::comm& comm, std::uint64_t n,
+                std::vector<triplet> local_entries);
+
+  /// Collective y = A*x. `x_block` is this rank's block of x under the
+  /// column-block distribution (only the contents passed by the *diagonal*
+  /// rank of each grid column are used, mirroring CombBLAS's vector
+  /// placement along the diagonal). Returns this rank's y block (meaningful
+  /// on diagonal ranks; identical layout to x).
+  std::vector<double> spmv(const std::vector<double>& x_block);
+
+  std::uint64_t n() const noexcept { return n_; }
+  int grid_dim() const noexcept { return q_; }
+  int grid_row() const noexcept { return row_; }
+  int grid_col() const noexcept { return col_; }
+  bool on_diagonal() const noexcept { return row_ == col_; }
+
+  /// Global block boundaries: block b covers [block_begin(b), block_end(b)).
+  std::uint64_t block_begin(int b) const {
+    return (n_ * static_cast<std::uint64_t>(b)) /
+           static_cast<std::uint64_t>(q_);
+  }
+  std::uint64_t block_end(int b) const { return block_begin(b + 1); }
+  std::uint64_t block_size(int b) const {
+    return block_end(b) - block_begin(b);
+  }
+
+  /// Communication counters (bytes moved by the collectives), used by the
+  /// Fig. 8 bench to price the baseline on the network model.
+  std::uint64_t bcast_bytes() const noexcept { return bcast_bytes_; }
+  std::uint64_t reduce_bytes() const noexcept { return reduce_bytes_; }
+
+ private:
+  int owner_of(std::uint64_t i, std::uint64_t j) const;
+
+  mpisim::comm* world_;
+  std::uint64_t n_ = 0;
+  int q_ = 0;    // grid dimension
+  int row_ = 0;  // my grid row
+  int col_ = 0;  // my grid column
+  mpisim::comm row_comm_;
+  mpisim::comm col_comm_;
+  csc_matrix block_;  // local block, indices rebased to block coordinates
+  std::uint64_t bcast_bytes_ = 0;
+  std::uint64_t reduce_bytes_ = 0;
+};
+
+}  // namespace ygm::linalg

@@ -1,0 +1,70 @@
+#include "linalg/csc.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ygm::linalg {
+
+csc_matrix csc_matrix::from_triplets(std::uint64_t num_rows,
+                                     std::uint64_t num_cols,
+                                     std::vector<triplet> entries) {
+  csc_matrix m;
+  m.num_rows_ = num_rows;
+  m.num_cols_ = num_cols;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const triplet& a, const triplet& b) {
+              return std::tie(a.col, a.row) < std::tie(b.col, b.row);
+            });
+
+  m.col_ptr_.assign(num_cols + 1, 0);
+  m.rows_.reserve(entries.size());
+  m.vals_.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size();) {
+    const triplet& t = entries[i];
+    YGM_CHECK(t.row < num_rows && t.col < num_cols,
+              "triplet index out of range");
+    double sum = 0;
+    std::size_t j = i;
+    while (j < entries.size() && entries[j].row == t.row &&
+           entries[j].col == t.col) {
+      sum += entries[j].value;
+      ++j;
+    }
+    m.rows_.push_back(t.row);
+    m.vals_.push_back(sum);
+    ++m.col_ptr_[t.col + 1];
+    i = j;
+  }
+  for (std::uint64_t c = 0; c < num_cols; ++c) {
+    m.col_ptr_[c + 1] += m.col_ptr_[c];
+  }
+  return m;
+}
+
+void csc_matrix::multiply_add(std::span<const double> x,
+                              std::span<double> y) const {
+  YGM_CHECK(x.size() == num_cols_, "x has wrong length");
+  YGM_CHECK(y.size() == num_rows_, "y has wrong length");
+  for (std::uint64_t j = 0; j < num_cols_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (std::uint64_t k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      y[rows_[k]] += vals_[k] * xj;
+    }
+  }
+}
+
+std::vector<double> spmv_reference(std::uint64_t num_rows,
+                                   const std::vector<triplet>& entries,
+                                   std::span<const double> x) {
+  std::vector<double> y(num_rows, 0.0);
+  for (const auto& t : entries) {
+    YGM_CHECK(t.row < num_rows && t.col < x.size(),
+              "triplet index out of range");
+    y[t.row] += t.value * x[t.col];
+  }
+  return y;
+}
+
+}  // namespace ygm::linalg

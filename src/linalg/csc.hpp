@@ -1,0 +1,70 @@
+// Local compressed-sparse-column matrix — the storage format the paper's
+// SpMV application uses (§V-C) and the block format of CombBLAS-lite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ygm::linalg {
+
+struct triplet {
+  std::uint64_t row = 0;
+  std::uint64_t col = 0;
+  double value = 0.0;
+
+  bool operator==(const triplet&) const = default;
+};
+
+class csc_matrix {
+ public:
+  csc_matrix() = default;
+
+  /// Build from unordered triplets. Duplicate (row, col) entries are summed,
+  /// matching the usual sparse-assembly convention.
+  static csc_matrix from_triplets(std::uint64_t num_rows,
+                                  std::uint64_t num_cols,
+                                  std::vector<triplet> entries);
+
+  std::uint64_t num_rows() const noexcept { return num_rows_; }
+  std::uint64_t num_cols() const noexcept { return num_cols_; }
+  std::uint64_t num_nonzeros() const noexcept { return rows_.size(); }
+
+  /// y += A * x  (x sized num_cols, y sized num_rows).
+  void multiply_add(std::span<const double> x, std::span<double> y) const;
+
+  /// Visit the nonzeros of column j as fn(row, value).
+  template <class F>
+  void for_each_in_col(std::uint64_t j, F&& fn) const {
+    YGM_ASSERT(j < num_cols_);
+    for (std::uint64_t k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      fn(rows_[k], vals_[k]);
+    }
+  }
+
+  /// Visit all nonzeros as fn(row, col, value).
+  template <class F>
+  void for_each(F&& fn) const {
+    for (std::uint64_t j = 0; j < num_cols_; ++j) {
+      for (std::uint64_t k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+        fn(rows_[k], j, vals_[k]);
+      }
+    }
+  }
+
+ private:
+  std::uint64_t num_rows_ = 0;
+  std::uint64_t num_cols_ = 0;
+  std::vector<std::uint64_t> col_ptr_;  // size num_cols + 1
+  std::vector<std::uint64_t> rows_;
+  std::vector<double> vals_;
+};
+
+/// Serial reference SpMV over a raw triplet list (test oracle).
+std::vector<double> spmv_reference(std::uint64_t num_rows,
+                                   const std::vector<triplet>& entries,
+                                   std::span<const double> x);
+
+}  // namespace ygm::linalg

@@ -1,0 +1,145 @@
+#include "mpisim/comm.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ygm::mpisim {
+
+comm::comm(world& w, std::shared_ptr<const std::vector<int>> members, int rank,
+           std::uint64_t ctx_p2p, std::uint64_t ctx_coll)
+    : world_(&w),
+      members_(std::move(members)),
+      rank_(rank),
+      ctx_p2p_(ctx_p2p),
+      ctx_coll_(ctx_coll) {
+  YGM_CHECK(members_ && !members_->empty(), "empty communicator group");
+  YGM_CHECK(rank_ >= 0 && rank_ < size(), "rank outside communicator group");
+}
+
+double comm::wtime() const { return world_->wtime(); }
+
+void comm::send_bytes(int dest, int tag, std::vector<std::byte> payload) const {
+  YGM_CHECK(tag >= 0 && tag <= tag_ub, "user tag out of range");
+  world_->slot(world_rank_of(dest))
+      .deliver(envelope{rank_, tag, ctx_p2p_, std::move(payload)});
+}
+
+std::vector<std::byte> comm::recv_bytes(int src, int tag, status* st) const {
+  envelope e = world_->slot(world_rank_of(rank_)).recv_match(src, tag, ctx_p2p_);
+  if (st != nullptr) {
+    *st = status{e.src, e.tag, e.payload.size()};
+  }
+  return std::move(e.payload);
+}
+
+void comm::coll_send_bytes(int dest, int tag, std::vector<std::byte> p) const {
+  world_->slot(world_rank_of(dest))
+      .deliver(envelope{rank_, tag, ctx_coll_, std::move(p)});
+}
+
+std::vector<std::byte> comm::coll_recv_bytes(int src, int tag) const {
+  return world_->slot(world_rank_of(rank_)).recv_match(src, tag, ctx_coll_).payload;
+}
+
+std::optional<status> comm::iprobe(int src, int tag) const {
+  return world_->slot(world_rank_of(rank_)).iprobe(src, tag, ctx_p2p_);
+}
+
+status comm::probe(int src, int tag) const {
+  return world_->slot(world_rank_of(rank_)).probe(src, tag, ctx_p2p_);
+}
+
+std::size_t comm::pending_messages() const {
+  return world_->slot(world_rank_of(rank_)).pending();
+}
+
+void comm::barrier() const {
+  // Dissemination barrier: ceil(log2 P) rounds; in round r every rank sends
+  // a token 2^r ahead and waits for the token from 2^r behind.
+  const int p = size();
+  const std::uint64_t seq = coll_seq_++;
+  int round = 0;
+  for (int k = 1; k < p; k <<= 1, ++round) {
+    const int dest = (rank_ + k) % p;
+    const int src = (rank_ - k % p + p) % p;
+    coll_send_bytes(dest, coll_tag(seq, round), {});
+    (void)coll_recv_bytes(src, coll_tag(seq, round));
+  }
+}
+
+comm comm::split(int color, int key) const {
+  YGM_CHECK(color >= 0, "split color must be non-negative");
+  const int p = size();
+  constexpr int root = 0;
+
+  // Root gathers (color, key) of every rank, forms the subgroups, allocates
+  // fresh context ids (only the root allocates, so ids agree globally), and
+  // sends each member its new group description.
+  const auto pairs = gather(std::pair<int, int>{color, key}, root);
+
+  const std::uint64_t seq = coll_seq_++;
+  // Payload: (members as world ranks, my index, ctx_p2p, ctx_coll).
+  using group_desc =
+      std::tuple<std::vector<int>, int, std::uint64_t, std::uint64_t>;
+  group_desc mine;
+
+  if (rank_ == root) {
+    // member ordering within a color: by (key, parent rank).
+    std::vector<int> order(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      const auto& pa = pairs[static_cast<std::size_t>(a)];
+      const auto& pb = pairs[static_cast<std::size_t>(b)];
+      return std::tie(pa.first, pa.second, a) <
+             std::tie(pb.first, pb.second, b);
+    });
+
+    std::size_t i = 0;
+    while (i < order.size()) {
+      const int c = pairs[static_cast<std::size_t>(order[i])].first;
+      std::vector<int> group_world;      // world ranks of the new group
+      std::vector<int> group_parent;     // parent ranks (to address sends)
+      while (i < order.size() &&
+             pairs[static_cast<std::size_t>(order[i])].first == c) {
+        group_parent.push_back(order[i]);
+        group_world.push_back(world_rank_of(order[i]));
+        ++i;
+      }
+      const std::uint64_t np2p = world_->alloc_context();
+      const std::uint64_t ncoll = world_->alloc_context();
+      for (std::size_t j = 0; j < group_parent.size(); ++j) {
+        group_desc d{group_world, static_cast<int>(j), np2p, ncoll};
+        if (group_parent[j] == root) {
+          mine = std::move(d);
+        } else {
+          coll_send(d, group_parent[j], coll_tag(seq, 0));
+        }
+      }
+    }
+  } else {
+    mine = coll_recv<group_desc>(root, coll_tag(seq, 0));
+  }
+
+  auto& [members, my_index, np2p, ncoll] = mine;
+  return comm(*world_,
+              std::make_shared<const std::vector<int>>(std::move(members)),
+              my_index, np2p, ncoll);
+}
+
+comm comm::dup() const {
+  constexpr int root = 0;
+  const std::uint64_t seq = coll_seq_++;
+  std::pair<std::uint64_t, std::uint64_t> ctxs;
+  if (rank_ == root) {
+    ctxs = {world_->alloc_context(), world_->alloc_context()};
+    for (int dest = 0; dest < size(); ++dest) {
+      if (dest != root) coll_send(ctxs, dest, coll_tag(seq, 0));
+    }
+  } else {
+    ctxs = coll_recv<std::pair<std::uint64_t, std::uint64_t>>(
+        root, coll_tag(seq, 0));
+  }
+  return comm(*world_, members_, rank_, ctxs.first, ctxs.second);
+}
+
+}  // namespace ygm::mpisim

@@ -1,0 +1,83 @@
+#include "mpisim/mail_slot.hpp"
+
+#include "common/assert.hpp"
+
+namespace ygm::mpisim {
+
+void mail_slot::deliver(envelope&& e) {
+  {
+    std::lock_guard lock(mtx_);
+    q_.push_back(std::move(e));
+  }
+  cv_.notify_all();
+}
+
+std::size_t mail_slot::find_match(int src, int tag, std::uint64_t ctx) const {
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    if (matches(q_[i], src, tag, ctx)) return i;
+  }
+  return npos;
+}
+
+envelope mail_slot::recv_match(int src, int tag, std::uint64_t ctx) {
+  std::unique_lock lock(mtx_);
+  std::size_t i;
+  cv_.wait(lock, [&] {
+    if (aborted_) return true;
+    i = find_match(src, tag, ctx);
+    return i != npos;
+  });
+  YGM_CHECK(!aborted_, "mpisim world aborted while blocked in recv");
+  envelope e = std::move(q_[i]);
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+  return e;
+}
+
+std::optional<envelope> mail_slot::try_recv_match(int src, int tag,
+                                                  std::uint64_t ctx) {
+  std::lock_guard lock(mtx_);
+  YGM_CHECK(!aborted_, "mpisim world aborted");
+  const std::size_t i = find_match(src, tag, ctx);
+  if (i == npos) return std::nullopt;
+  envelope e = std::move(q_[i]);
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+  return e;
+}
+
+std::optional<status> mail_slot::iprobe(int src, int tag,
+                                        std::uint64_t ctx) const {
+  std::lock_guard lock(mtx_);
+  YGM_CHECK(!aborted_, "mpisim world aborted");
+  const std::size_t i = find_match(src, tag, ctx);
+  if (i == npos) return std::nullopt;
+  const envelope& e = q_[i];
+  return status{e.src, e.tag, e.payload.size()};
+}
+
+status mail_slot::probe(int src, int tag, std::uint64_t ctx) const {
+  std::unique_lock lock(mtx_);
+  std::size_t i;
+  cv_.wait(lock, [&] {
+    if (aborted_) return true;
+    i = find_match(src, tag, ctx);
+    return i != npos;
+  });
+  YGM_CHECK(!aborted_, "mpisim world aborted while blocked in probe");
+  const envelope& e = q_[i];
+  return status{e.src, e.tag, e.payload.size()};
+}
+
+std::size_t mail_slot::pending() const {
+  std::lock_guard lock(mtx_);
+  return q_.size();
+}
+
+void mail_slot::abort() {
+  {
+    std::lock_guard lock(mtx_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace ygm::mpisim

@@ -1,0 +1,65 @@
+// Per-rank incoming-message queue with MPI-style matching.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mpisim/envelope.hpp"
+#include "mpisim/types.hpp"
+
+namespace ygm::mpisim {
+
+/// One rank's incoming mailbox. Senders call deliver(); the owning rank
+/// matches messages by (source, tag, context), with any_source/any_tag
+/// wildcards. Matching scans the queue in arrival order, which preserves
+/// MPI's non-overtaking guarantee per (source, context): messages from one
+/// sender are delivered in the order they were sent.
+///
+/// abort() poisons the slot so that a rank blocked in recv/probe wakes up
+/// and throws instead of deadlocking when another rank dies with an
+/// exception.
+class mail_slot {
+ public:
+  /// Enqueue a message (called by sender threads).
+  void deliver(envelope&& e);
+
+  /// Blocking matched receive; removes and returns the first match.
+  /// Throws ygm::error if the world has been aborted.
+  envelope recv_match(int src, int tag, std::uint64_t ctx);
+
+  /// Nonblocking matched receive.
+  std::optional<envelope> try_recv_match(int src, int tag, std::uint64_t ctx);
+
+  /// Nonblocking probe: peek at the first match without removing it.
+  std::optional<status> iprobe(int src, int tag, std::uint64_t ctx) const;
+
+  /// Blocking probe.
+  status probe(int src, int tag, std::uint64_t ctx) const;
+
+  /// Number of queued (unreceived) messages, across all contexts.
+  std::size_t pending() const;
+
+  /// Wake all blocked operations with an error (world teardown on failure).
+  void abort();
+
+ private:
+  static bool matches(const envelope& e, int src, int tag, std::uint64_t ctx) {
+    return e.ctx == ctx && (src == any_source || e.src == src) &&
+           (tag == any_tag || e.tag == tag);
+  }
+
+  // Index of the first matching envelope in q_, or npos.
+  std::size_t find_match(int src, int tag, std::uint64_t ctx) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  mutable std::mutex mtx_;
+  mutable std::condition_variable cv_;
+  std::deque<envelope> q_;
+  bool aborted_ = false;
+};
+
+}  // namespace ygm::mpisim

@@ -1,0 +1,57 @@
+// Nonblocking-operation handles, like MPI_Request.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <utility>
+
+namespace ygm::mpisim {
+
+/// Handle for a nonblocking operation. mpisim sends are eager (they complete
+/// at call time), so isend returns an already-complete request; irecv
+/// returns a request that polls the mail slot.
+class request {
+ public:
+  /// An already-complete request.
+  request() = default;
+
+  /// A pending request driven by poll(block): poll(false) attempts progress
+  /// and returns completion; poll(true) must block until complete and
+  /// return true.
+  explicit request(std::function<bool(bool)> poll)
+      : done_(false), poll_(std::move(poll)) {}
+
+  /// Nonblocking completion test, like MPI_Test.
+  bool test() {
+    if (!done_) done_ = poll_(false);
+    return done_;
+  }
+
+  /// Block until complete, like MPI_Wait.
+  void wait() {
+    if (!done_) {
+      poll_(true);
+      done_ = true;
+    }
+  }
+
+  bool complete() const noexcept { return done_; }
+
+ private:
+  bool done_ = true;
+  std::function<bool(bool)> poll_;
+};
+
+/// Block until every request completes, like MPI_Waitall.
+inline void wait_all(std::span<request> reqs) {
+  for (auto& r : reqs) r.wait();
+}
+
+/// True when every request has completed, like MPI_Testall (makes progress).
+inline bool test_all(std::span<request> reqs) {
+  bool all = true;
+  for (auto& r : reqs) all = r.test() && all;
+  return all;
+}
+
+}  // namespace ygm::mpisim

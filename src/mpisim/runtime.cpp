@@ -1,0 +1,49 @@
+#include "mpisim/runtime.hpp"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ygm::mpisim {
+
+void run(int nranks, const std::function<void(comm&)>& fn) {
+  YGM_CHECK(nranks > 0, "run() requires a positive rank count");
+
+  world w(nranks);
+
+  auto members = std::make_shared<const std::vector<int>>([&] {
+    std::vector<int> m(static_cast<std::size_t>(nranks));
+    std::iota(m.begin(), m.end(), 0);
+    return m;
+  }());
+
+  std::mutex err_mtx;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      comm c(w, members, r, world::world_context, world::world_context + 1);
+      try {
+        fn(c);
+      } catch (...) {
+        {
+          std::lock_guard lock(err_mtx);
+          if (!first_error) first_error = std::current_exception();
+        }
+        w.abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ygm::mpisim

@@ -1,0 +1,19 @@
+// Entry point of the mpisim runtime: spawn N rank threads, run a rank
+// function in each, propagate failures.
+#pragma once
+
+#include <functional>
+
+#include "mpisim/comm.hpp"
+
+namespace ygm::mpisim {
+
+/// Run `fn(world_comm)` on `nranks` rank threads, like
+/// `mpirun -n <nranks>`. Blocks until every rank returns.
+///
+/// If any rank throws, the world is aborted: ranks blocked in communication
+/// wake with ygm::error, all threads are joined, and the first rank's
+/// exception is rethrown here. This keeps failing tests from deadlocking.
+void run(int nranks, const std::function<void(comm&)>& fn);
+
+}  // namespace ygm::mpisim

@@ -1,0 +1,34 @@
+// Shared constants and small value types for the MPI-like runtime.
+//
+// mpisim replaces MPI in this reproduction (no MPI implementation is
+// available in the build environment — see DESIGN.md §2). It implements the
+// subset of MPI semantics YGM relies on: eager buffered point-to-point sends
+// with per-(source,destination,context) non-overtaking order, tag matching
+// with wildcards, probing, nonblocking requests, communicator splitting, and
+// tree-based collectives. Ranks are threads within one process; each rank's
+// "address space" is by convention the state it allocates in its rank
+// function.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ygm::mpisim {
+
+/// Wildcard source for recv/probe, like MPI_ANY_SOURCE.
+inline constexpr int any_source = -1;
+
+/// Wildcard tag for recv/probe, like MPI_ANY_TAG.
+inline constexpr int any_tag = -1;
+
+/// Largest tag available to user code, like MPI_TAG_UB.
+inline constexpr int tag_ub = (1 << 24) - 1;
+
+/// Result of a completed receive or probe, like MPI_Status.
+struct status {
+  int source = any_source;       ///< group rank of the sender
+  int tag = any_tag;             ///< tag of the matched message
+  std::size_t byte_count = 0;    ///< payload size in bytes
+};
+
+}  // namespace ygm::mpisim

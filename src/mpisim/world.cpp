@@ -1,0 +1,35 @@
+#include "mpisim/world.hpp"
+
+#include "common/assert.hpp"
+
+namespace ygm::mpisim {
+
+world::world(int nranks) : next_ctx_(world_context + 2) {
+  // world_context and world_context+1 are reserved for the world
+  // communicator's point-to-point and collective planes.
+  YGM_CHECK(nranks > 0, "world size must be positive");
+  slots_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    slots_.push_back(std::make_unique<mail_slot>());
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+mail_slot& world::slot(int world_rank) {
+  YGM_ASSERT(world_rank >= 0 && world_rank < size());
+  return *slots_[static_cast<std::size_t>(world_rank)];
+}
+
+double world::wtime() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - epoch_).count();
+}
+
+void world::abort_all() {
+  bool expected = false;
+  if (aborted_.compare_exchange_strong(expected, true)) {
+    for (auto& s : slots_) s->abort();
+  }
+}
+
+}  // namespace ygm::mpisim

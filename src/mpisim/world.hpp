@@ -1,0 +1,51 @@
+// Process-wide shared state for one mpisim execution: the rank mail slots,
+// context-id allocation, the clock epoch, and abort propagation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpisim/mail_slot.hpp"
+
+namespace ygm::mpisim {
+
+/// Shared by every rank thread of one runtime::run invocation. Thread-safe.
+class world {
+ public:
+  explicit world(int nranks);
+
+  int size() const noexcept { return static_cast<int>(slots_.size()); }
+
+  mail_slot& slot(int world_rank);
+
+  /// Allocate a fresh communicator context id. Only one rank (the split
+  /// root) allocates per logical communicator, so ids agree across ranks.
+  std::uint64_t alloc_context() noexcept {
+    return next_ctx_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Context id of the world communicator (point-to-point plane).
+  static constexpr std::uint64_t world_context = 1;
+
+  /// Seconds since this world was created (like MPI_Wtime deltas).
+  double wtime() const;
+
+  /// Poison all slots so blocked ranks wake with an error; called when a
+  /// rank function throws, to avoid deadlocking the remaining ranks.
+  void abort_all();
+
+  bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<std::unique_ptr<mail_slot>> slots_;
+  std::atomic<std::uint64_t> next_ctx_;
+  std::atomic<bool> aborted_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace ygm::mpisim

@@ -1,0 +1,179 @@
+#include "net/evaluator.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace ygm::net {
+
+namespace {
+
+// Accumulated per-core outbound flows (bytes and message events), averaged
+// over the representative source cores.
+struct flows {
+  double local_bytes = 0;
+  double remote_bytes = 0;
+  double send_events = 0;     // message enqueues (origin or forward)
+  double forward_bytes = 0;   // bytes re-copied at intermediaries
+};
+
+// Walk every point-to-point route out of the cores of one representative
+// node. The schemes are vertex-transitive (exactly so when C | N, to within
+// one node's traffic otherwise), so the average over these sources equals
+// the per-core average over the whole machine.
+flows p2p_flows(const routing::router& r, const traffic_model& tm,
+                int rep_node) {
+  const auto& topo = r.topo();
+  const int nc = topo.num_ranks();
+  flows f;
+  if (nc <= 1 || tm.p2p_bytes <= 0) return f;
+
+  const double v = tm.p2p_bytes / (nc - 1);  // bytes per (src,dst) pair
+  const double msgs_per_pair = v / tm.p2p_msg_bytes;
+
+  for (int c = 0; c < topo.cores; ++c) {
+    const int s0 = topo.rank_of(rep_node, c);
+    for (int d = 0; d < nc; ++d) {
+      if (d == s0) continue;
+      int here = s0;
+      int hop = 0;
+      while (here != d) {
+        const int nh = r.next_hop(here, d);
+        YGM_ASSERT(nh != here);
+        if (topo.is_remote(here, nh)) {
+          f.remote_bytes += v;
+        } else {
+          f.local_bytes += v;
+        }
+        f.send_events += msgs_per_pair;
+        if (hop > 0) f.forward_bytes += v;
+        here = nh;
+        ++hop;
+        YGM_ASSERT(hop <= r.max_hops());
+      }
+    }
+  }
+  const double inv = 1.0 / topo.cores;
+  f.local_bytes *= inv;
+  f.remote_bytes *= inv;
+  f.send_events *= inv;
+  f.forward_bytes *= inv;
+  return f;
+}
+
+// Walk the broadcast tree rooted at each core of the representative node.
+// By the same transitivity argument, per-core outbound broadcast flow equals
+// (tree totals) x (broadcasts originated per core).
+flows bcast_flows(const routing::router& r, const traffic_model& tm,
+                  int rep_node) {
+  const auto& topo = r.topo();
+  flows f;
+  if (topo.num_ranks() <= 1 || tm.bcast_count <= 0) return f;
+
+  for (int c = 0; c < topo.cores; ++c) {
+    const int origin = topo.rank_of(rep_node, c);
+    std::deque<int> frontier{origin};
+    while (!frontier.empty()) {
+      const int here = frontier.front();
+      frontier.pop_front();
+      for (int nh : r.bcast_next_hops(here, origin)) {
+        if (topo.is_remote(here, nh)) {
+          f.remote_bytes += tm.bcast_msg_bytes;
+        } else {
+          f.local_bytes += tm.bcast_msg_bytes;
+        }
+        f.send_events += 1;
+        if (here != origin) f.forward_bytes += tm.bcast_msg_bytes;
+        frontier.push_back(nh);
+      }
+    }
+  }
+  const double scale = tm.bcast_count / topo.cores;
+  f.local_bytes *= scale;
+  f.remote_bytes *= scale;
+  f.send_events *= scale;
+  f.forward_bytes *= scale;
+  return f;
+}
+
+}  // namespace
+
+eval_result evaluate(const routing::router& r, const network_params& np,
+                     std::size_t mailbox_bytes, const traffic_model& tm) {
+  YGM_CHECK(mailbox_bytes > 0, "mailbox capacity must be positive");
+  YGM_CHECK(tm.p2p_msg_bytes > 0 && tm.bcast_msg_bytes > 0,
+            "message sizes must be positive");
+
+  const auto& topo = r.topo();
+  eval_result out;
+  if (topo.num_ranks() <= 1) return out;
+
+  // A middle node is representative even when NLNR's last layer is partial.
+  const int rep_node = topo.nodes / 2;
+
+  const flows fp = p2p_flows(r, tm, rep_node);
+  const flows fb = bcast_flows(r, tm, rep_node);
+
+  out.local_bytes = fp.local_bytes + fb.local_bytes;
+  out.remote_bytes = fp.remote_bytes + fb.remote_bytes;
+  const double send_events = fp.send_events + fb.send_events;
+  const double forward_bytes = fp.forward_bytes + fb.forward_bytes;
+  const double total_out = out.local_bytes + out.remote_bytes;
+  if (total_out <= 0) return out;
+
+  // Partner counts. Remote partner counts vary only with core offset, so the
+  // representative node's cores cover every class.
+  int max_pr = 0;
+  double sum_pr = 0;
+  for (int c = 0; c < topo.cores; ++c) {
+    const int pr = r.remote_out_partners(topo.rank_of(rep_node, c));
+    max_pr = std::max(max_pr, pr);
+    sum_pr += pr;
+  }
+  const double avg_pr = sum_pr / topo.cores;
+  out.max_remote_partners = max_pr;
+  const double pl = r.local_out_partners(topo.rank_of(rep_node, 0));
+
+  // Coalesced packet size per partner: the proportional share of the mailbox
+  // buffer that partner's traffic occupies at flush time, clamped to
+  // [one message, everything that partner will ever receive].
+  const auto packet_size = [&](double partner_bytes, double msg_bytes) {
+    double pkt = static_cast<double>(mailbox_bytes) * partner_bytes / total_out;
+    pkt = std::max(pkt, msg_bytes);
+    pkt = std::min(pkt, partner_bytes);
+    return pkt;
+  };
+
+  double msg_bytes = tm.p2p_msg_bytes;
+  if (tm.p2p_bytes > 0 && tm.bcast_count > 0) {
+    msg_bytes = std::min(tm.p2p_msg_bytes, tm.bcast_msg_bytes);
+  } else if (tm.bcast_count > 0) {
+    msg_bytes = tm.bcast_msg_bytes;
+  }
+
+  if (out.remote_bytes > 0 && avg_pr > 0) {
+    const double per_partner = out.remote_bytes / avg_pr;
+    const double pkt = packet_size(per_partner, msg_bytes);
+    out.remote_packet_bytes = pkt;
+    out.remote_packets = out.remote_bytes / pkt;
+    out.remote_s = out.remote_packets * np.remote.transfer_time(pkt);
+  }
+  if (out.local_bytes > 0 && pl > 0) {
+    const double per_partner = out.local_bytes / pl;
+    const double pkt = packet_size(per_partner, msg_bytes);
+    out.local_packets = out.local_bytes / pkt;
+    out.local_s = out.local_packets * np.local.transfer_time(pkt);
+  }
+
+  // Every send has a matching receive somewhere; by symmetry each core also
+  // handles `send_events` receives.
+  out.handled_msgs = 2 * send_events;
+  out.cpu_s =
+      out.handled_msgs * np.cpu_s_per_msg + forward_bytes * np.cpu_s_per_byte;
+
+  out.total_s = out.remote_s + out.local_s + out.cpu_s;
+  return out;
+}
+
+}  // namespace ygm::net

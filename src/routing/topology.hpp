@@ -1,0 +1,50 @@
+// The (node, core) machine abstraction of the paper (§III).
+//
+// N compute nodes with C cores each; a core is addressed by the tuple
+// (n, c) and linearized to the rank n*C + c (node-major, the usual MPI
+// blocked mapping). "Local" communication stays within one node (shared
+// memory); "remote" communication crosses nodes (the wire).
+//
+// NLNR additionally groups nodes into *layers* of C nodes: node n has layer
+// offset n mod C, and the core with offset n' mod C on node n is the
+// gateway for all traffic from node n to node n'.
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace ygm::routing {
+
+struct topology {
+  int nodes = 1;  ///< N - compute node count
+  int cores = 1;  ///< C - cores per node
+
+  constexpr topology() = default;
+  constexpr topology(int n, int c) : nodes(n), cores(c) {
+    YGM_ASSERT(n >= 1 && c >= 1);
+  }
+
+  constexpr int num_ranks() const noexcept { return nodes * cores; }
+
+  constexpr int node_of(int rank) const noexcept { return rank / cores; }
+  constexpr int core_of(int rank) const noexcept { return rank % cores; }
+  constexpr int rank_of(int node, int core) const noexcept {
+    return node * cores + core;
+  }
+
+  constexpr bool same_node(int a, int b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+  constexpr bool is_remote(int a, int b) const noexcept {
+    return !same_node(a, b);
+  }
+
+  /// NLNR layer index of a node (layers hold C consecutive offsets).
+  constexpr int layer_of(int node) const noexcept { return node / cores; }
+
+  /// NLNR layer offset of a node: l = n mod C (paper §III-D).
+  constexpr int layer_offset(int node) const noexcept { return node % cores; }
+
+  constexpr bool operator==(const topology&) const = default;
+};
+
+}  // namespace ygm::routing

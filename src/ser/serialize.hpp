@@ -1,0 +1,53 @@
+// Umbrella header for the serialization substrate plus one-shot helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ser/archive.hpp"
+#include "ser/stl.hpp"
+#include "ser/varint.hpp"
+
+namespace ygm::ser {
+
+/// Serialize a single value into a fresh byte vector.
+template <class T>
+std::vector<std::byte> to_bytes(const T& v) {
+  std::vector<std::byte> out;
+  oarchive ar(out);
+  ar & v;
+  return out;
+}
+
+/// Append the serialization of v to an existing byte vector; returns the
+/// number of bytes appended.
+template <class T>
+std::size_t append_bytes(const T& v, std::vector<std::byte>& out) {
+  const std::size_t before = out.size();
+  oarchive ar(out);
+  ar & v;
+  return out.size() - before;
+}
+
+/// Deserialize a single value that occupies the whole span.
+template <class T>
+T from_bytes(std::span<const std::byte> in) {
+  T v{};
+  iarchive ar(in);
+  ar & v;
+  YGM_CHECK(ar.exhausted(), "trailing bytes after deserialization");
+  return v;
+}
+
+/// Deserialize a value from the front of a span, advancing the span past it.
+template <class T>
+T take_bytes(std::span<const std::byte>& in) {
+  T v{};
+  iarchive ar(in);
+  ar & v;
+  in = in.subspan(in.size() - ar.remaining());
+  return v;
+}
+
+}  // namespace ygm::ser

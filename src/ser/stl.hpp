@@ -1,0 +1,324 @@
+// Serialization adapters for the C++ standard library containers.
+//
+// The paper relies on cereal's STL support so users "need not implement
+// their own serialization functions in most cases" (§IV-C); these overloads
+// provide the same coverage. They live in ygm::ser and are found through
+// ADL on the archive argument.
+//
+// Contiguous containers of trivially copyable elements are encoded as a
+// varint length followed by one raw memcpy — the fast path the mailbox
+// depends on for bulk payloads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "ser/archive.hpp"
+
+namespace ygm::ser {
+
+// ---------------------------------------------------------------- strings
+
+inline void serialize(oarchive& ar, const std::string& s) {
+  ar.write_size(s.size());
+  ar.write_raw(s.data(), s.size());
+}
+
+inline void serialize(iarchive& ar, std::string& s) {
+  const auto n = ar.read_size();
+  YGM_CHECK(n <= ar.remaining(), "string length exceeds archive");
+  s.resize(static_cast<std::size_t>(n));
+  ar.read_raw(s.data(), s.size());
+}
+
+// ----------------------------------------------------------------- vector
+
+template <class T, class Alloc>
+void serialize(oarchive& ar, const std::vector<T, Alloc>& v) {
+  ar.write_size(v.size());
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    ar.write_raw(v.data(), v.size() * sizeof(T));
+  } else {
+    for (const auto& e : v) ar & e;
+  }
+}
+
+template <class T, class Alloc>
+void serialize(iarchive& ar, std::vector<T, Alloc>& v) {
+  const auto n = ar.read_size();
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    YGM_CHECK(n * sizeof(T) <= ar.remaining(),
+              "vector length exceeds archive");
+    v.resize(static_cast<std::size_t>(n));
+    ar.read_raw(v.data(), v.size() * sizeof(T));
+  } else {
+    // Every element encodes at least one byte, so a hostile length that
+    // exceeds the remaining input is rejected before any allocation.
+    YGM_CHECK(n <= ar.remaining(), "vector length exceeds archive");
+    v.clear();
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      T e{};
+      ar & e;
+      v.push_back(std::move(e));
+    }
+  }
+}
+
+// vector<bool> has no contiguous data(); pack one byte per bit group.
+template <class Alloc>
+void serialize(oarchive& ar, const std::vector<bool, Alloc>& v) {
+  ar.write_size(v.size());
+  std::uint8_t acc = 0;
+  int nbits = 0;
+  for (bool b : v) {
+    acc = static_cast<std::uint8_t>(acc | (static_cast<std::uint8_t>(b) << nbits));
+    if (++nbits == 8) {
+      ar.write_raw(&acc, 1);
+      acc = 0;
+      nbits = 0;
+    }
+  }
+  if (nbits != 0) ar.write_raw(&acc, 1);
+}
+
+template <class Alloc>
+void serialize(iarchive& ar, std::vector<bool, Alloc>& v) {
+  const auto n = ar.read_size();
+  YGM_CHECK((n + 7) / 8 <= ar.remaining(), "bit-vector length exceeds archive");
+  v.resize(static_cast<std::size_t>(n));
+  std::uint8_t acc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) ar.read_raw(&acc, 1);
+    v[static_cast<std::size_t>(i)] = (acc >> (i % 8)) & 1u;
+  }
+}
+
+// ----------------------------------------------------- other sequences
+
+template <class T, class Alloc>
+void serialize(oarchive& ar, const std::deque<T, Alloc>& d) {
+  ar.write_size(d.size());
+  for (const auto& e : d) ar & e;
+}
+
+template <class T, class Alloc>
+void serialize(iarchive& ar, std::deque<T, Alloc>& d) {
+  const auto n = ar.read_size();
+  YGM_CHECK(n <= ar.remaining(), "deque length exceeds archive");
+  d.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    T e{};
+    ar & e;
+    d.push_back(std::move(e));
+  }
+}
+
+template <class T, class Alloc>
+void serialize(oarchive& ar, const std::list<T, Alloc>& l) {
+  ar.write_size(l.size());
+  for (const auto& e : l) ar & e;
+}
+
+template <class T, class Alloc>
+void serialize(iarchive& ar, std::list<T, Alloc>& l) {
+  const auto n = ar.read_size();
+  YGM_CHECK(n <= ar.remaining(), "list length exceeds archive");
+  l.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    T e{};
+    ar & e;
+    l.push_back(std::move(e));
+  }
+}
+
+// std::array of trivially copyable T hits the archives' raw fallback; this
+// adapter covers arrays of class types.
+template <class T, std::size_t N>
+  requires(!std::is_trivially_copyable_v<std::array<T, N>>)
+void serialize(oarchive& ar, const std::array<T, N>& a) {
+  for (const auto& e : a) ar & e;
+}
+
+template <class T, std::size_t N>
+  requires(!std::is_trivially_copyable_v<std::array<T, N>>)
+void serialize(iarchive& ar, std::array<T, N>& a) {
+  for (auto& e : a) ar & e;
+}
+
+// ------------------------------------------------------------ pair/tuple
+
+template <class A, class B>
+  requires(!std::is_trivially_copyable_v<std::pair<A, B>>)
+void serialize(oarchive& ar, const std::pair<A, B>& p) {
+  ar & p.first & p.second;
+}
+
+template <class A, class B>
+  requires(!std::is_trivially_copyable_v<std::pair<A, B>>)
+void serialize(iarchive& ar, std::pair<A, B>& p) {
+  ar & p.first & p.second;
+}
+
+template <class... Ts>
+  requires(!std::is_trivially_copyable_v<std::tuple<Ts...>>)
+void serialize(oarchive& ar, const std::tuple<Ts...>& t) {
+  std::apply([&](const auto&... e) { (void)((ar & e), ...); }, t);
+}
+
+template <class... Ts>
+  requires(!std::is_trivially_copyable_v<std::tuple<Ts...>>)
+void serialize(iarchive& ar, std::tuple<Ts...>& t) {
+  std::apply([&](auto&... e) { (void)((ar & e), ...); }, t);
+}
+
+// ----------------------------------------------------- associative maps
+
+namespace detail {
+
+template <class Map, class Archive>
+void save_map(Archive& ar, const Map& m) {
+  ar.write_size(m.size());
+  for (const auto& [k, v] : m) {
+    ar & k & v;
+  }
+}
+
+template <class Map, class Archive>
+void load_map(Archive& ar, Map& m) {
+  const auto n = ar.read_size();
+  YGM_CHECK(n <= ar.remaining(), "map length exceeds archive");
+  m.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    typename Map::key_type k{};
+    typename Map::mapped_type v{};
+    ar & k & v;
+    m.emplace(std::move(k), std::move(v));
+  }
+}
+
+template <class Set, class Archive>
+void save_set(Archive& ar, const Set& s) {
+  ar.write_size(s.size());
+  for (const auto& e : s) ar & e;
+}
+
+template <class Set, class Archive>
+void load_set(Archive& ar, Set& s) {
+  const auto n = ar.read_size();
+  YGM_CHECK(n <= ar.remaining(), "set length exceeds archive");
+  s.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    typename Set::key_type e{};
+    ar & e;
+    s.insert(std::move(e));
+  }
+}
+
+}  // namespace detail
+
+template <class K, class V, class C, class A>
+void serialize(oarchive& ar, const std::map<K, V, C, A>& m) {
+  detail::save_map(ar, m);
+}
+template <class K, class V, class C, class A>
+void serialize(iarchive& ar, std::map<K, V, C, A>& m) {
+  detail::load_map(ar, m);
+}
+
+template <class K, class V, class H, class E, class A>
+void serialize(oarchive& ar, const std::unordered_map<K, V, H, E, A>& m) {
+  detail::save_map(ar, m);
+}
+template <class K, class V, class H, class E, class A>
+void serialize(iarchive& ar, std::unordered_map<K, V, H, E, A>& m) {
+  detail::load_map(ar, m);
+}
+
+template <class K, class C, class A>
+void serialize(oarchive& ar, const std::set<K, C, A>& s) {
+  detail::save_set(ar, s);
+}
+template <class K, class C, class A>
+void serialize(iarchive& ar, std::set<K, C, A>& s) {
+  detail::load_set(ar, s);
+}
+
+template <class K, class H, class E, class A>
+void serialize(oarchive& ar, const std::unordered_set<K, H, E, A>& s) {
+  detail::save_set(ar, s);
+}
+template <class K, class H, class E, class A>
+void serialize(iarchive& ar, std::unordered_set<K, H, E, A>& s) {
+  detail::load_set(ar, s);
+}
+
+// ------------------------------------------------------ optional/variant
+
+template <class T>
+void serialize(oarchive& ar, const std::optional<T>& o) {
+  const std::uint8_t has = o.has_value() ? 1 : 0;
+  ar & has;
+  if (has) ar & *o;
+}
+
+template <class T>
+void serialize(iarchive& ar, std::optional<T>& o) {
+  std::uint8_t has = 0;
+  ar & has;
+  if (has) {
+    T v{};
+    ar & v;
+    o = std::move(v);
+  } else {
+    o.reset();
+  }
+}
+
+template <class... Ts>
+void serialize(oarchive& ar, const std::variant<Ts...>& v) {
+  ar.write_size(v.index());
+  std::visit([&](const auto& e) { ar & e; }, v);
+}
+
+namespace detail {
+
+template <class Variant, std::size_t I = 0>
+void load_variant(iarchive& ar, Variant& v, std::size_t index) {
+  if constexpr (I < std::variant_size_v<Variant>) {
+    if (index == I) {
+      std::variant_alternative_t<I, Variant> e{};
+      ar & e;
+      v = std::move(e);
+    } else {
+      load_variant<Variant, I + 1>(ar, v, index);
+    }
+  } else {
+    YGM_CHECK(false, "variant index out of range in archive");
+  }
+}
+
+}  // namespace detail
+
+template <class... Ts>
+void serialize(iarchive& ar, std::variant<Ts...>& v) {
+  const auto index = ar.read_size();
+  detail::load_variant(ar, v, static_cast<std::size_t>(index));
+}
+
+inline void serialize(oarchive&, const std::monostate&) {}
+inline void serialize(iarchive&, std::monostate&) {}
+
+}  // namespace ygm::ser

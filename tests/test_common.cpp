@@ -1,0 +1,121 @@
+// Tests for the common substrate: RNG quality basics, formatting helpers,
+// and the assertion macros every other library leans on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, Splitmix64IsDeterministicAndMixes) {
+  EXPECT_EQ(ygm::splitmix64(1), ygm::splitmix64(1));
+  EXPECT_NE(ygm::splitmix64(1), ygm::splitmix64(2));
+  // Adjacent inputs should differ in many bits (avalanche sanity).
+  const auto a = ygm::splitmix64(1000);
+  const auto b = ygm::splitmix64(1001);
+  int diff_bits = 0;
+  for (std::uint64_t x = a ^ b; x != 0; x >>= 1) diff_bits += x & 1;
+  EXPECT_GT(diff_bits, 16);
+}
+
+TEST(Rng, XoshiroStreamsAreSeedDeterministic) {
+  ygm::xoshiro256 a(7);
+  ygm::xoshiro256 b(7);
+  ygm::xoshiro256 c(8);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    any_diff = any_diff || va != c();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowStaysInRangeAndHitsAllResidues) {
+  ygm::xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  // bound 1 is always 0.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  ygm::xoshiro256 rng(11);
+  std::vector<int> hist(10, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++hist[rng.below(10)];
+  }
+  for (const int h : hist) {
+    EXPECT_GT(h, kSamples / 10 - 600);
+    EXPECT_LT(h, kSamples / 10 + 600);
+  }
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  ygm::xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+// ------------------------------------------------------------ formatting
+
+TEST(Units, FormatBytesUsesBinaryPrefixes) {
+  EXPECT_EQ(ygm::format_bytes(0), "0 B");
+  EXPECT_EQ(ygm::format_bytes(512), "512 B");
+  EXPECT_EQ(ygm::format_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(ygm::format_bytes(16 * 1024), "16 KiB");
+  EXPECT_EQ(ygm::format_bytes(1.5 * 1024 * 1024), "1.5 MiB");
+  EXPECT_EQ(ygm::format_bytes(3.0 * 1024 * 1024 * 1024), "3.0 GiB");
+}
+
+TEST(Units, FormatRateUsesDecimalPrefixes) {
+  EXPECT_EQ(ygm::format_rate(500), "500.00 B/s");
+  EXPECT_EQ(ygm::format_rate(2e9), "2.00 GB/s");
+  EXPECT_EQ(ygm::format_rate(12.3e9), "12.30 GB/s");
+}
+
+TEST(Units, FormatCountSwitchesToScientific) {
+  EXPECT_EQ(ygm::format_count(5), "5.00");
+  EXPECT_EQ(ygm::format_count(1234), "1234");
+  EXPECT_EQ(ygm::format_count(2.5e8), "2.50e+08");
+}
+
+// ------------------------------------------------------------ assertions
+
+TEST(Assertions, CheckThrowsWithMessage) {
+  try {
+    YGM_CHECK(1 == 2, "one is not two");
+    FAIL() << "YGM_CHECK did not throw";
+  } catch (const ygm::error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Assertions, AssertThrowsOnFalseAndPassesOnTrue) {
+  EXPECT_THROW(YGM_ASSERT(false), ygm::error);
+  EXPECT_NO_THROW(YGM_ASSERT(2 + 2 == 4));
+  EXPECT_NO_THROW(YGM_CHECK(true, "unused"));
+}
+
+}  // namespace

@@ -1,0 +1,315 @@
+// Tests for the graph substrate (graph/): generators, partitioning,
+// scrambling, delegate selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/ygm.hpp"
+#include "graph/delegates.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+namespace {
+
+namespace sim = ygm::mpisim;
+using ygm::graph::delegate_set;
+using ygm::graph::edge;
+using ygm::graph::erdos_renyi_generator;
+using ygm::graph::rmat_generator;
+using ygm::graph::rmat_params;
+using ygm::graph::round_robin_partition;
+using ygm::graph::vertex_id;
+
+// ----------------------------------------------------------- partitioning
+
+TEST(Partition, RoundRobinMappingRoundTrips) {
+  const round_robin_partition part{5};
+  for (vertex_id v = 0; v < 100; ++v) {
+    const int o = part.owner(v);
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 5);
+    EXPECT_EQ(part.global_id(o, part.local_index(v)), v);
+  }
+}
+
+TEST(Partition, LocalCountsSumToTotal) {
+  for (int p : {1, 3, 7}) {
+    const round_robin_partition part{p};
+    for (std::uint64_t n : {0ULL, 1ULL, 13ULL, 100ULL}) {
+      std::uint64_t sum = 0;
+      for (int r = 0; r < p; ++r) sum += part.local_count(r, n);
+      EXPECT_EQ(sum, n);
+    }
+  }
+}
+
+TEST(Partition, LocalIndicesAreDense) {
+  const round_robin_partition part{4};
+  const std::uint64_t n = 19;
+  for (int r = 0; r < 4; ++r) {
+    const std::uint64_t cnt = part.local_count(r, n);
+    for (std::uint64_t i = 0; i < cnt; ++i) {
+      const vertex_id v = part.global_id(r, i);
+      EXPECT_LT(v, n);
+      EXPECT_EQ(part.owner(v), r);
+      EXPECT_EQ(part.local_index(v), i);
+    }
+  }
+}
+
+// ------------------------------------------------------------- generators
+
+TEST(ErdosRenyi, SliceDistributesEdgesExactly) {
+  for (std::uint64_t m : {0ULL, 1ULL, 10ULL, 1000003ULL}) {
+    for (int p : {1, 4, 7}) {
+      std::uint64_t sum = 0;
+      for (int r = 0; r < p; ++r) {
+        sum += erdos_renyi_generator::slice(m, r, p);
+      }
+      EXPECT_EQ(sum, m);
+    }
+  }
+}
+
+TEST(ErdosRenyi, IsDeterministicPerRank) {
+  const erdos_renyi_generator g1(1000, 500, 7, 2, 4);
+  const erdos_renyi_generator g2(1000, 500, 7, 2, 4);
+  std::vector<edge> e1, e2;
+  g1.for_each([&](const edge& e) { e1.push_back(e); });
+  g2.for_each([&](const edge& e) { e2.push_back(e); });
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(e1.size(), g1.local_edge_count());
+}
+
+TEST(ErdosRenyi, DifferentRanksProduceDifferentStreams) {
+  const erdos_renyi_generator g0(1000, 500, 7, 0, 4);
+  const erdos_renyi_generator g1(1000, 500, 7, 1, 4);
+  std::vector<edge> e0, e1;
+  g0.for_each([&](const edge& e) { e0.push_back(e); });
+  g1.for_each([&](const edge& e) { e1.push_back(e); });
+  EXPECT_NE(e0, e1);
+}
+
+TEST(ErdosRenyi, EndpointsInRangeAndRoughlyUniform) {
+  const vertex_id n = 64;
+  const erdos_renyi_generator g(n, 64000, 11, 0, 1);
+  std::vector<std::uint64_t> hist(n, 0);
+  g.for_each([&](const edge& e) {
+    ASSERT_LT(e.src, n);
+    ASSERT_LT(e.dst, n);
+    ++hist[e.src];
+    ++hist[e.dst];
+  });
+  // 128000 endpoint samples over 64 bins: expect 2000 each, allow 4x sigma.
+  for (auto h : hist) {
+    EXPECT_GT(h, 1700u);
+    EXPECT_LT(h, 2300u);
+  }
+}
+
+// ----------------------------------------------------------------- RMAT
+
+TEST(Rmat, ScrambleIsABijection) {
+  for (int scale : {1, 4, 10, 16}) {
+    const vertex_id n = vertex_id{1} << scale;
+    std::vector<bool> seen(n, false);
+    for (vertex_id v = 0; v < n; ++v) {
+      const vertex_id s = ygm::graph::scramble_vertex(v, scale);
+      ASSERT_LT(s, n);
+      ASSERT_FALSE(seen[s]) << "collision at scale " << scale;
+      seen[s] = true;
+    }
+  }
+}
+
+TEST(Rmat, IsDeterministicAndInRange) {
+  const rmat_generator g1(10, 5000, rmat_params::graph500(), 3, 1, 3);
+  const rmat_generator g2(10, 5000, rmat_params::graph500(), 3, 1, 3);
+  std::vector<edge> e1, e2;
+  g1.for_each([&](const edge& e) {
+    ASSERT_LT(e.src, g1.num_vertices());
+    ASSERT_LT(e.dst, g1.num_vertices());
+    e1.push_back(e);
+  });
+  g2.for_each([&](const edge& e) { e2.push_back(e); });
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(Rmat, RejectsInvalidParameters) {
+  EXPECT_THROW(rmat_generator(0, 10, rmat_params::graph500(), 1, 0, 1),
+               ygm::error);
+  rmat_params bad;
+  bad.a = 0.9;  // sums to 1.33
+  EXPECT_THROW(rmat_generator(8, 10, bad, 1, 0, 1), ygm::error);
+}
+
+TEST(Rmat, SkewedParametersProduceHubs) {
+  // Graph500 parameters must yield a far heavier maximum degree than the
+  // uniform setting on the same vertex/edge budget.
+  const int scale = 12;
+  const std::uint64_t edges = 16ULL << scale;
+  const auto max_degree = [&](const rmat_params& p) {
+    const rmat_generator g(scale, edges, p, 5, 0, 1);
+    std::vector<std::uint64_t> deg(g.num_vertices(), 0);
+    g.for_each([&](const edge& e) {
+      ++deg[e.src];
+      ++deg[e.dst];
+    });
+    return *std::max_element(deg.begin(), deg.end());
+  };
+  const auto skewed = max_degree(rmat_params::graph500());
+  const auto uniform = max_degree(rmat_params::uniform());
+  EXPECT_GT(skewed, 4 * uniform);
+  const auto web = max_degree(rmat_params::webgraph_like());
+  EXPECT_GT(web, skewed);  // the webgraph stand-in is even more skewed
+}
+
+TEST(Rmat, UniformParametersMatchErdosRenyiStatistics) {
+  const int scale = 10;
+  const vertex_id n = vertex_id{1} << scale;
+  const std::uint64_t edges = 64 * n;
+  const rmat_generator g(scale, edges, rmat_params::uniform(), 5, 0, 1);
+  std::vector<std::uint64_t> deg(n, 0);
+  g.for_each([&](const edge& e) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  });
+  // Mean endpoint count 128 per vertex; a uniform graph keeps the max within
+  // a small factor of the mean.
+  const auto mx = *std::max_element(deg.begin(), deg.end());
+  EXPECT_LT(mx, 128 * 3);
+}
+
+TEST(Rmat, ExpectedMaxDegreeGrowsWithScale) {
+  const auto p = rmat_params::graph500();
+  const double d20 = ygm::graph::expected_max_degree(20, 16ULL << 20, p);
+  const double d24 = ygm::graph::expected_max_degree(24, 16ULL << 24, p);
+  EXPECT_GT(d24, d20);
+  // Growth factor per scale step is 2*(a+b) = 1.52.
+  EXPECT_NEAR(d24 / d20, std::pow(2 * (p.a + p.b), 4), 1e-6);
+}
+
+// -------------------------------------------------------------- delegates
+
+TEST(Delegates, SetMapsIdsToDenseSlots) {
+  const delegate_set d({3, 17, 42});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d.contains(17));
+  EXPECT_FALSE(d.contains(4));
+  EXPECT_EQ(d.slot(3), 0u);
+  EXPECT_EQ(d.slot(42), 2u);
+  EXPECT_EQ(d.id_of_slot(1), 17u);
+}
+
+TEST(Delegates, RejectsUnsortedOrDuplicateIds) {
+  EXPECT_THROW(delegate_set({5, 3}), ygm::error);
+  EXPECT_THROW(delegate_set({3, 3}), ygm::error);
+}
+
+TEST(Delegates, EmptySetBehaves) {
+  const delegate_set d;
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_FALSE(d.contains(0));
+}
+
+TEST(Delegates, SelectionAgreesAcrossRanks) {
+  sim::run(4, [](sim::comm& c) {
+    ygm::core::comm_world world(c, 2, ygm::routing::scheme_kind::node_local);
+    const round_robin_partition part{c.size()};
+    const std::uint64_t n = 40;
+
+    // Synthetic degrees: vertex v has degree v.
+    std::vector<std::uint64_t> degrees(part.local_count(c.rank(), n));
+    for (std::uint64_t i = 0; i < degrees.size(); ++i) {
+      degrees[i] = part.global_id(c.rank(), i);
+    }
+    const auto d = ygm::graph::select_delegates(world, degrees, part, 30);
+
+    // Vertices 30..39 qualify, on every rank identically.
+    ASSERT_EQ(d.size(), 10u);
+    for (vertex_id v = 30; v < 40; ++v) {
+      EXPECT_TRUE(d.contains(v));
+      EXPECT_EQ(d.slot(v), v - 30);
+    }
+    EXPECT_FALSE(d.contains(29));
+  });
+}
+
+TEST(Delegates, SelectionRejectsBadArguments) {
+  sim::run(2, [](sim::comm& c) {
+    ygm::core::comm_world world(c, 1, ygm::routing::scheme_kind::no_route);
+    const round_robin_partition part{c.size()};
+    EXPECT_THROW(
+        ygm::graph::select_delegates(world, {}, part, 0), ygm::error);
+    c.barrier();
+  });
+}
+
+}  // namespace
+// NOTE: appended degree-model suite (kept in this file: it is part of the
+// graph substrate's statistical tooling).
+#include "graph/degree_model.hpp"
+
+namespace {
+
+using ygm::graph::rmat_degree_model;
+
+TEST(DegreeModel, ClassSizesSumToVertexCount) {
+  const rmat_degree_model m(16, 16ULL << 16, rmat_params::graph500());
+  double total = 0;
+  for (int k = 0; k <= 16; ++k) total += m.class_size(k);
+  EXPECT_NEAR(total, static_cast<double>(1ULL << 16), 1.0);
+}
+
+TEST(DegreeModel, EndpointMassSumsToTwiceEdges) {
+  const std::uint64_t edges = 16ULL << 14;
+  const rmat_degree_model m(14, edges, rmat_params::graph500());
+  double mass = 0;
+  for (int k = 0; k <= 14; ++k) mass += m.class_size(k) * m.class_degree(k);
+  EXPECT_NEAR(mass, 2.0 * static_cast<double>(edges), 0.01 * edges);
+}
+
+TEST(DegreeModel, TailCountIsMonotoneInThreshold) {
+  const rmat_degree_model m(20, 16ULL << 20, rmat_params::graph500());
+  double prev = m.count_degree_at_least(1);
+  for (double t = 2; t < 1e7; t *= 2) {
+    const double cur = m.count_degree_at_least(t);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_EQ(m.count_degree_at_least(1e18), 0.0);
+}
+
+TEST(DegreeModel, PredictsEmpiricalTailWithinSmallFactor) {
+  const int scale = 12;
+  const std::uint64_t edges = 16ULL << scale;
+  const rmat_generator g(scale, edges, rmat_params::graph500(), 21, 0, 1);
+  std::vector<std::uint64_t> deg(g.num_vertices(), 0);
+  g.for_each([&](const edge& e) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  });
+  const rmat_degree_model m(scale, edges, rmat_params::graph500());
+  for (const double t : {256.0, 1024.0}) {
+    const double predicted = m.count_degree_at_least(t);
+    double actual = 0;
+    for (auto d : deg) {
+      if (static_cast<double>(d) >= t) ++actual;
+    }
+    EXPECT_GT(actual, predicted / 3) << "threshold " << t;
+    EXPECT_LT(actual, predicted * 3) << "threshold " << t;
+  }
+}
+
+TEST(DegreeModel, UniformParametersHaveNoHeavyTail) {
+  const rmat_degree_model m(20, 16ULL << 20, rmat_params::uniform());
+  // Mean endpoint count is 32; a uniform graph has essentially no vertices
+  // at 64x the mean.
+  EXPECT_LT(m.count_degree_at_least(32.0 * 64), 1.0);
+}
+
+}  // namespace

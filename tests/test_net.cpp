@@ -1,0 +1,250 @@
+// Tests for the network performance model and analytic evaluator (net/).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/evaluator.hpp"
+#include "net/params.hpp"
+
+namespace {
+
+using ygm::net::evaluate;
+using ygm::net::network_params;
+using ygm::net::traffic_model;
+using ygm::routing::router;
+using ygm::routing::scheme_kind;
+using ygm::routing::topology;
+
+// ----------------------------------------------------------- link model
+
+TEST(LinkModel, BandwidthRisesWithinEagerRegime) {
+  const auto np = network_params::quartz_like();
+  double prev = 0;
+  for (std::size_t s = 1; s < np.remote.eager_threshold; s *= 2) {
+    const double bw = np.remote.bandwidth(static_cast<double>(s));
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(LinkModel, EagerToRendezvousSwitchDipsBandwidth) {
+  // The paper's Fig. 5 shows a downward jump at 16KB where MPI switches
+  // from the eager to the rendezvous protocol.
+  const auto np = network_params::quartz_like();
+  const double before =
+      np.remote.bandwidth(static_cast<double>(np.remote.eager_threshold) - 1);
+  const double after =
+      np.remote.bandwidth(static_cast<double>(np.remote.eager_threshold));
+  EXPECT_LT(after, before);
+}
+
+TEST(LinkModel, BandwidthRecoversAboveTheSwitch) {
+  const auto np = network_params::quartz_like();
+  const double at_switch =
+      np.remote.bandwidth(static_cast<double>(np.remote.eager_threshold));
+  const double large = np.remote.bandwidth(64.0 * 1024 * 1024);
+  EXPECT_GT(large, at_switch);
+  // Approaches the rendezvous asymptote.
+  EXPECT_GT(large, 0.9 * np.remote.rendezvous_bw_Bps);
+  EXPECT_LE(large, np.remote.rendezvous_bw_Bps);
+}
+
+TEST(LinkModel, SmallMessagesAreLatencyBound) {
+  const auto np = network_params::quartz_like();
+  // An 8-byte message moves at a tiny fraction of peak.
+  EXPECT_LT(np.remote.bandwidth(8), 0.01 * np.remote.rendezvous_bw_Bps);
+}
+
+TEST(LinkModel, LocalLinkBeatsRemoteLinkAtEverySize) {
+  const auto np = network_params::quartz_like();
+  for (double s : {8.0, 1024.0, 16384.0, 1e6, 1e8}) {
+    EXPECT_LT(np.local.transfer_time(s), np.remote.transfer_time(s));
+  }
+}
+
+TEST(LinkModel, TransferTimeIsMonotoneInSize) {
+  const auto np = network_params::quartz_like();
+  double prev = 0;
+  for (double s = 1; s < 1e9; s *= 1.7) {
+    const double t = np.remote.transfer_time(s);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+// ------------------------------------------------------------ evaluator
+
+traffic_model uniform_traffic() {
+  traffic_model tm;
+  tm.p2p_bytes = 1 << 24;  // 16 MiB per core
+  tm.p2p_msg_bytes = 16;
+  return tm;
+}
+
+TEST(Evaluator, SingleRankCostsNothing) {
+  const router r(scheme_kind::nlnr, topology(1, 1));
+  const auto res = evaluate(r, network_params::quartz_like(), 1 << 18,
+                            uniform_traffic());
+  EXPECT_EQ(res.total_s, 0);
+}
+
+TEST(Evaluator, FlowConservationAcrossSchemes) {
+  // Remote bytes per core must equal the remote fraction of traffic times
+  // the number of remote hops per message (always exactly one).
+  const topology t(8, 4);
+  const traffic_model tm = uniform_traffic();
+  const double remote_fraction =
+      static_cast<double>(t.cores * (t.nodes - 1)) / (t.num_ranks() - 1);
+  for (auto kind : ygm::routing::all_schemes) {
+    const router r(kind, t);
+    const auto res = evaluate(r, network_params::quartz_like(), 1 << 18, tm);
+    EXPECT_NEAR(res.remote_bytes, tm.p2p_bytes * remote_fraction,
+                1e-6 * tm.p2p_bytes)
+        << ygm::routing::to_string(kind);
+  }
+}
+
+TEST(Evaluator, LocalBytesReflectHopStructure) {
+  const topology t(8, 4);
+  const traffic_model tm = uniform_traffic();
+  const auto np = network_params::quartz_like();
+  const double local_pairs = t.cores - 1;           // same-node destinations
+  const double total_pairs = t.num_ranks() - 1;
+  const double remote_frac = (total_pairs - local_pairs) / total_pairs;
+  const double local_frac = local_pairs / total_pairs;
+
+  // NoRoute: local bytes only for same-node destinations.
+  auto res = evaluate(router(scheme_kind::no_route, t), np, 1 << 18, tm);
+  EXPECT_NEAR(res.local_bytes, tm.p2p_bytes * local_frac, 1);
+
+  // NodeLocal: every message whose destination core offset differs makes one
+  // local hop. NLNR adds a second local hop for most remote messages.
+  auto nl = evaluate(router(scheme_kind::node_local, t), np, 1 << 18, tm);
+  auto nr = evaluate(router(scheme_kind::node_remote, t), np, 1 << 18, tm);
+  auto nlnr = evaluate(router(scheme_kind::nlnr, t), np, 1 << 18, tm);
+  EXPECT_GT(nl.local_bytes, res.local_bytes);
+  EXPECT_NEAR(nl.local_bytes, nr.local_bytes, 1e-6 * tm.p2p_bytes);
+  EXPECT_GT(nlnr.local_bytes, nl.local_bytes);
+  EXPECT_LT(nlnr.local_bytes, 2.0 * tm.p2p_bytes * remote_frac +
+                                  tm.p2p_bytes * local_frac + 1);
+}
+
+TEST(Evaluator, PacketSizeOrderingFollowsPartnerCounts) {
+  // Paper §III-E: average remote message size O(V/NC) for NoRoute, O(V/N)
+  // for NL/NR, O(VC/N) for NLNR.
+  const topology t(64, 8);
+  const traffic_model tm = uniform_traffic();
+  const auto np = network_params::quartz_like();
+  const auto none = evaluate(router(scheme_kind::no_route, t), np, 1 << 18, tm);
+  const auto nl = evaluate(router(scheme_kind::node_local, t), np, 1 << 18, tm);
+  const auto nlnr = evaluate(router(scheme_kind::nlnr, t), np, 1 << 18, tm);
+  EXPECT_LT(none.remote_packet_bytes, nl.remote_packet_bytes);
+  EXPECT_LT(nl.remote_packet_bytes, nlnr.remote_packet_bytes);
+  // Roughly a factor C between adjacent schemes.
+  EXPECT_NEAR(nl.remote_packet_bytes / none.remote_packet_bytes, t.cores,
+              0.5 * t.cores);
+}
+
+TEST(Evaluator, NoRouteCollapsesFirstAsNodesScale) {
+  // Reproduce the headline ordering of Fig. 6: at large N, NoRoute is worst
+  // and NLNR is best; at very small N the extra local pass makes NLNR lose
+  // to NL/NR.
+  const auto np = network_params::quartz_like();
+  const traffic_model tm = uniform_traffic();
+  const int cores = 16;
+
+  const auto total = [&](scheme_kind k, int nodes) {
+    return evaluate(router(k, topology(nodes, cores)), np, 1 << 18, tm)
+        .total_s;
+  };
+
+  for (int nodes : {256, 1024}) {
+    EXPECT_GT(total(scheme_kind::no_route, nodes),
+              total(scheme_kind::node_local, nodes));
+    EXPECT_GT(total(scheme_kind::node_local, nodes),
+              total(scheme_kind::nlnr, nodes));
+  }
+  // Moderate scale: NL/NR beat NLNR (paper Fig. 6 discussion).
+  EXPECT_LT(total(scheme_kind::node_remote, 8), total(scheme_kind::nlnr, 8));
+}
+
+TEST(Evaluator, BroadcastsFavorNodeRemoteOverNodeLocal) {
+  // Paper §III-C: a broadcast costs C*(N-1) remote messages under NodeLocal
+  // but only N-1 under NodeRemote/NLNR.
+  const topology t(32, 8);
+  const auto np = network_params::quartz_like();
+  traffic_model tm;
+  tm.bcast_count = 1000;
+  tm.bcast_msg_bytes = 64;
+  const auto nl = evaluate(router(scheme_kind::node_local, t), np, 1 << 18, tm);
+  const auto nr =
+      evaluate(router(scheme_kind::node_remote, t), np, 1 << 18, tm);
+  EXPECT_NEAR(nl.remote_bytes / nr.remote_bytes, t.cores, 0.01 * t.cores);
+  EXPECT_GT(nl.total_s, nr.total_s);
+}
+
+TEST(Evaluator, LargerMailboxImprovesOrKeepsThroughput) {
+  // Fig. 8d observation: when packet sizes shrink below the efficient
+  // region, growing the mailbox restores performance.
+  const topology t(128, 16);
+  const auto np = network_params::quartz_like();
+  const traffic_model tm = uniform_traffic();
+  const router r(scheme_kind::node_remote, t);
+  const auto small = evaluate(r, np, 1 << 14, tm);
+  const auto large = evaluate(r, np, 1 << 22, tm);
+  EXPECT_LT(large.total_s, small.total_s);
+  EXPECT_GT(large.remote_packet_bytes, small.remote_packet_bytes);
+}
+
+TEST(Evaluator, HandlesPureBcastAndPureP2pTraffic) {
+  const topology t(8, 4);
+  const auto np = network_params::quartz_like();
+  traffic_model bc;
+  bc.bcast_count = 10;
+  bc.bcast_msg_bytes = 32;
+  for (auto kind : ygm::routing::all_schemes) {
+    const auto res = evaluate(router(kind, t), np, 1 << 18, bc);
+    EXPECT_GT(res.total_s, 0) << ygm::routing::to_string(kind);
+  }
+  traffic_model empty;
+  empty.p2p_bytes = 0;
+  const auto res = evaluate(router(scheme_kind::nlnr, t), np, 1 << 18, empty);
+  EXPECT_EQ(res.total_s, 0);
+}
+
+TEST(Evaluator, RejectsInvalidParameters) {
+  const router r(scheme_kind::nlnr, topology(2, 2));
+  EXPECT_THROW(evaluate(r, network_params::quartz_like(), 0, traffic_model{}),
+               ygm::error);
+  traffic_model tm;
+  tm.p2p_msg_bytes = 0;
+  EXPECT_THROW(evaluate(r, network_params::quartz_like(), 1024, tm),
+               ygm::error);
+}
+
+}  // namespace
+// (appended) second machine preset
+
+TEST(LinkModel, BgqPresetHasItsOwnShape) {
+  const auto bgq = ygm::net::network_params::bgq_like();
+  const auto quartz = network_params::quartz_like();
+  // Lower peak bandwidth, earlier protocol switch, still a dip.
+  EXPECT_LT(bgq.remote.rendezvous_bw_Bps, quartz.remote.rendezvous_bw_Bps);
+  EXPECT_LT(bgq.remote.eager_threshold, quartz.remote.eager_threshold);
+  const double before = bgq.remote.bandwidth(
+      static_cast<double>(bgq.remote.eager_threshold) - 1);
+  const double after =
+      bgq.remote.bandwidth(static_cast<double>(bgq.remote.eager_threshold));
+  EXPECT_LT(after, before);
+  // The scheme orderings must hold on this machine too.
+  const topology t(256, 16);
+  const traffic_model tm = [] {
+    traffic_model m;
+    m.p2p_bytes = 1 << 24;
+    m.p2p_msg_bytes = 16;
+    return m;
+  }();
+  const auto none = evaluate(router(scheme_kind::no_route, t), bgq, 1 << 18, tm);
+  const auto nlnr = evaluate(router(scheme_kind::nlnr, t), bgq, 1 << 18, tm);
+  EXPECT_GT(none.total_s, nlnr.total_s);
+}
