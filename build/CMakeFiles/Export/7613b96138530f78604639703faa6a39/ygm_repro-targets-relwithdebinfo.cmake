@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "ygm_repro::ygm_mpisim" for configuration "RelWithDebInfo"
+set_property(TARGET ygm_repro::ygm_mpisim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ygm_repro::ygm_mpisim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libygm_mpisim.a"
+  )
+
+list(APPEND _cmake_import_check_targets ygm_repro::ygm_mpisim )
+list(APPEND _cmake_import_check_files_for_ygm_repro::ygm_mpisim "${_IMPORT_PREFIX}/lib/libygm_mpisim.a" )
+
+# Import target "ygm_repro::ygm_routing" for configuration "RelWithDebInfo"
+set_property(TARGET ygm_repro::ygm_routing APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ygm_repro::ygm_routing PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libygm_routing.a"
+  )
+
+list(APPEND _cmake_import_check_targets ygm_repro::ygm_routing )
+list(APPEND _cmake_import_check_files_for_ygm_repro::ygm_routing "${_IMPORT_PREFIX}/lib/libygm_routing.a" )
+
+# Import target "ygm_repro::ygm_net" for configuration "RelWithDebInfo"
+set_property(TARGET ygm_repro::ygm_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ygm_repro::ygm_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libygm_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets ygm_repro::ygm_net )
+list(APPEND _cmake_import_check_files_for_ygm_repro::ygm_net "${_IMPORT_PREFIX}/lib/libygm_net.a" )
+
+# Import target "ygm_repro::ygm_core" for configuration "RelWithDebInfo"
+set_property(TARGET ygm_repro::ygm_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ygm_repro::ygm_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libygm_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets ygm_repro::ygm_core )
+list(APPEND _cmake_import_check_files_for_ygm_repro::ygm_core "${_IMPORT_PREFIX}/lib/libygm_core.a" )
+
+# Import target "ygm_repro::ygm_graph" for configuration "RelWithDebInfo"
+set_property(TARGET ygm_repro::ygm_graph APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ygm_repro::ygm_graph PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libygm_graph.a"
+  )
+
+list(APPEND _cmake_import_check_targets ygm_repro::ygm_graph )
+list(APPEND _cmake_import_check_files_for_ygm_repro::ygm_graph "${_IMPORT_PREFIX}/lib/libygm_graph.a" )
+
+# Import target "ygm_repro::ygm_linalg" for configuration "RelWithDebInfo"
+set_property(TARGET ygm_repro::ygm_linalg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ygm_repro::ygm_linalg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libygm_linalg.a"
+  )
+
+list(APPEND _cmake_import_check_targets ygm_repro::ygm_linalg )
+list(APPEND _cmake_import_check_files_for_ygm_repro::ygm_linalg "${_IMPORT_PREFIX}/lib/libygm_linalg.a" )
+
+# Import target "ygm_repro::ygm_apps" for configuration "RelWithDebInfo"
+set_property(TARGET ygm_repro::ygm_apps APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ygm_repro::ygm_apps PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libygm_apps.a"
+  )
+
+list(APPEND _cmake_import_check_targets ygm_repro::ygm_apps )
+list(APPEND _cmake_import_check_files_for_ygm_repro::ygm_apps "${_IMPORT_PREFIX}/lib/libygm_apps.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

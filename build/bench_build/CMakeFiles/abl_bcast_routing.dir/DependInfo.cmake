@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_bcast_routing.cpp" "bench_build/CMakeFiles/abl_bcast_routing.dir/abl_bcast_routing.cpp.o" "gcc" "bench_build/CMakeFiles/abl_bcast_routing.dir/abl_bcast_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ygm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ygm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ygm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ygm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/ygm_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ygm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ygm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bcast_routing"
+  "../bench/abl_bcast_routing.pdb"
+  "CMakeFiles/abl_bcast_routing.dir/abl_bcast_routing.cpp.o"
+  "CMakeFiles/abl_bcast_routing.dir/abl_bcast_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bcast_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_exchange_impl"
+  "../bench/abl_exchange_impl.pdb"
+  "CMakeFiles/abl_exchange_impl.dir/abl_exchange_impl.cpp.o"
+  "CMakeFiles/abl_exchange_impl.dir/abl_exchange_impl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_exchange_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

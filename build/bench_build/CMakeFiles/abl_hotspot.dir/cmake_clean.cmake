@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_hotspot"
+  "../bench/abl_hotspot.pdb"
+  "CMakeFiles/abl_hotspot.dir/abl_hotspot.cpp.o"
+  "CMakeFiles/abl_hotspot.dir/abl_hotspot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_imbalance"
+  "../bench/abl_imbalance.pdb"
+  "CMakeFiles/abl_imbalance.dir/abl_imbalance.cpp.o"
+  "CMakeFiles/abl_imbalance.dir/abl_imbalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_mailbox_size"
+  "../bench/abl_mailbox_size.pdb"
+  "CMakeFiles/abl_mailbox_size.dir/abl_mailbox_size.cpp.o"
+  "CMakeFiles/abl_mailbox_size.dir/abl_mailbox_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mailbox_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_degree_scaling"
+  "../bench/fig6_degree_scaling.pdb"
+  "CMakeFiles/fig6_degree_scaling.dir/fig6_degree_scaling.cpp.o"
+  "CMakeFiles/fig6_degree_scaling.dir/fig6_degree_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_degree_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_spmv"
+  "../bench/fig8_spmv.pdb"
+  "CMakeFiles/fig8_spmv.dir/fig8_spmv.cpp.o"
+  "CMakeFiles/fig8_spmv.dir/fig8_spmv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_analysis"
+  "../bench/tab_analysis.pdb"
+  "CMakeFiles/tab_analysis.dir/tab_analysis.cpp.o"
+  "CMakeFiles/tab_analysis.dir/tab_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

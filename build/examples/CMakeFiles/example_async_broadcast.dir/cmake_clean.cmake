@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_async_broadcast.dir/async_broadcast.cpp.o"
+  "CMakeFiles/example_async_broadcast.dir/async_broadcast.cpp.o.d"
+  "async_broadcast"
+  "async_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_async_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_degree_count.dir/degree_count.cpp.o"
+  "CMakeFiles/example_degree_count.dir/degree_count.cpp.o.d"
+  "degree_count"
+  "degree_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_degree_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph500_traversal.dir/graph500_traversal.cpp.o"
+  "CMakeFiles/example_graph500_traversal.dir/graph500_traversal.cpp.o.d"
+  "graph500_traversal"
+  "graph500_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph500_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

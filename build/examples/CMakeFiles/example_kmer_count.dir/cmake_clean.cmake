@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kmer_count.dir/kmer_count.cpp.o"
+  "CMakeFiles/example_kmer_count.dir/kmer_count.cpp.o.d"
+  "kmer_count"
+  "kmer_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kmer_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pagerank.dir/pagerank.cpp.o"
+  "CMakeFiles/example_pagerank.dir/pagerank.cpp.o.d"
+  "pagerank"
+  "pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

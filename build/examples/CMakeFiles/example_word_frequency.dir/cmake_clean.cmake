@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_word_frequency.dir/word_frequency.cpp.o"
+  "CMakeFiles/example_word_frequency.dir/word_frequency.cpp.o.d"
+  "word_frequency"
+  "word_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_word_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

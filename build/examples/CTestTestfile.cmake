@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--ranks" "8" "--cores" "4")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_degree_count "/root/repo/build/examples/degree_count" "--scale" "10" "--nodes" "2" "--cores" "2")
+set_tests_properties(example_degree_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_connected_components "/root/repo/build/examples/connected_components" "--scale" "9" "--edge-factor" "4")
+set_tests_properties(example_connected_components PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spmv "/root/repo/build/examples/spmv" "--scale" "8")
+set_tests_properties(example_spmv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_async_broadcast "/root/repo/build/examples/async_broadcast" "--samples" "2000")
+set_tests_properties(example_async_broadcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph500_traversal "/root/repo/build/examples/graph500_traversal" "--scale" "9" "--roots" "2")
+set_tests_properties(example_graph500_traversal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_word_frequency "/root/repo/build/examples/word_frequency" "--docs-per-rank" "200")
+set_tests_properties(example_word_frequency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pagerank "/root/repo/build/examples/pagerank" "--scale" "9" "--iters" "3")
+set_tests_properties(example_pagerank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kmer_count "/root/repo/build/examples/kmer_count" "--reads-per-rank" "100")
+set_tests_properties(example_kmer_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph_analytics "/root/repo/build/examples/graph_analytics" "--scale" "9")
+set_tests_properties(example_graph_analytics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

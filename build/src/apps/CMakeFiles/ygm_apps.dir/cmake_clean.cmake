@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ygm_apps.dir/connected_components.cpp.o"
+  "CMakeFiles/ygm_apps.dir/connected_components.cpp.o.d"
+  "CMakeFiles/ygm_apps.dir/spmv.cpp.o"
+  "CMakeFiles/ygm_apps.dir/spmv.cpp.o.d"
+  "libygm_apps.a"
+  "libygm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ygm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_world.cpp" "src/core/CMakeFiles/ygm_core.dir/comm_world.cpp.o" "gcc" "src/core/CMakeFiles/ygm_core.dir/comm_world.cpp.o.d"
+  "/root/repo/src/core/termination.cpp" "src/core/CMakeFiles/ygm_core.dir/termination.cpp.o" "gcc" "src/core/CMakeFiles/ygm_core.dir/termination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpisim/CMakeFiles/ygm_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ygm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ygm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ygm_core.dir/comm_world.cpp.o"
+  "CMakeFiles/ygm_core.dir/comm_world.cpp.o.d"
+  "CMakeFiles/ygm_core.dir/termination.cpp.o"
+  "CMakeFiles/ygm_core.dir/termination.cpp.o.d"
+  "libygm_core.a"
+  "libygm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ygm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ygm_graph.dir/degree_model.cpp.o"
+  "CMakeFiles/ygm_graph.dir/degree_model.cpp.o.d"
+  "CMakeFiles/ygm_graph.dir/delegates.cpp.o"
+  "CMakeFiles/ygm_graph.dir/delegates.cpp.o.d"
+  "CMakeFiles/ygm_graph.dir/rmat.cpp.o"
+  "CMakeFiles/ygm_graph.dir/rmat.cpp.o.d"
+  "libygm_graph.a"
+  "libygm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ygm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ygm_linalg.dir/combblas_lite.cpp.o"
+  "CMakeFiles/ygm_linalg.dir/combblas_lite.cpp.o.d"
+  "CMakeFiles/ygm_linalg.dir/csc.cpp.o"
+  "CMakeFiles/ygm_linalg.dir/csc.cpp.o.d"
+  "libygm_linalg.a"
+  "libygm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ygm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

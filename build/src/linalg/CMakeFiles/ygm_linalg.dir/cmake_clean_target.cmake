@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libygm_linalg.a"
+)

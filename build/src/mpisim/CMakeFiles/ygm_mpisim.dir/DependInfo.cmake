@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/comm.cpp" "src/mpisim/CMakeFiles/ygm_mpisim.dir/comm.cpp.o" "gcc" "src/mpisim/CMakeFiles/ygm_mpisim.dir/comm.cpp.o.d"
+  "/root/repo/src/mpisim/mail_slot.cpp" "src/mpisim/CMakeFiles/ygm_mpisim.dir/mail_slot.cpp.o" "gcc" "src/mpisim/CMakeFiles/ygm_mpisim.dir/mail_slot.cpp.o.d"
+  "/root/repo/src/mpisim/runtime.cpp" "src/mpisim/CMakeFiles/ygm_mpisim.dir/runtime.cpp.o" "gcc" "src/mpisim/CMakeFiles/ygm_mpisim.dir/runtime.cpp.o.d"
+  "/root/repo/src/mpisim/world.cpp" "src/mpisim/CMakeFiles/ygm_mpisim.dir/world.cpp.o" "gcc" "src/mpisim/CMakeFiles/ygm_mpisim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

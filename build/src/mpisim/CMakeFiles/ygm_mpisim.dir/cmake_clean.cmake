@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ygm_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/ygm_mpisim.dir/comm.cpp.o.d"
+  "CMakeFiles/ygm_mpisim.dir/mail_slot.cpp.o"
+  "CMakeFiles/ygm_mpisim.dir/mail_slot.cpp.o.d"
+  "CMakeFiles/ygm_mpisim.dir/runtime.cpp.o"
+  "CMakeFiles/ygm_mpisim.dir/runtime.cpp.o.d"
+  "CMakeFiles/ygm_mpisim.dir/world.cpp.o"
+  "CMakeFiles/ygm_mpisim.dir/world.cpp.o.d"
+  "libygm_mpisim.a"
+  "libygm_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ygm_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ygm_net.dir/evaluator.cpp.o"
+  "CMakeFiles/ygm_net.dir/evaluator.cpp.o.d"
+  "libygm_net.a"
+  "libygm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ygm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

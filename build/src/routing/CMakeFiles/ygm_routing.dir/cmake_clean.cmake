@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ygm_routing.dir/router.cpp.o"
+  "CMakeFiles/ygm_routing.dir/router.cpp.o.d"
+  "libygm_routing.a"
+  "libygm_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ygm_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

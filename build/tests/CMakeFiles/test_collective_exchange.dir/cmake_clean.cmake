@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective_exchange.dir/test_collective_exchange.cpp.o"
+  "CMakeFiles/test_collective_exchange.dir/test_collective_exchange.cpp.o.d"
+  "test_collective_exchange"
+  "test_collective_exchange.pdb"
+  "test_collective_exchange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

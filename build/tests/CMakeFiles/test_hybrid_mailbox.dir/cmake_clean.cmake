@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_mailbox.dir/test_hybrid_mailbox.cpp.o"
+  "CMakeFiles/test_hybrid_mailbox.dir/test_hybrid_mailbox.cpp.o.d"
+  "test_hybrid_mailbox"
+  "test_hybrid_mailbox.pdb"
+  "test_hybrid_mailbox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcore.dir/test_kcore.cpp.o"
+  "CMakeFiles/test_kcore.dir/test_kcore.cpp.o.d"
+  "test_kcore"
+  "test_kcore.pdb"
+  "test_kcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_termination.dir/test_termination.cpp.o"
+  "CMakeFiles/test_termination.dir/test_termination.cpp.o.d"
+  "test_termination"
+  "test_termination.pdb"
+  "test_termination[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

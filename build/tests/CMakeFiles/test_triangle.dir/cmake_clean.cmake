@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangle.dir/test_triangle.cpp.o"
+  "CMakeFiles/test_triangle.dir/test_triangle.cpp.o.d"
+  "test_triangle"
+  "test_triangle.pdb"
+  "test_triangle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
