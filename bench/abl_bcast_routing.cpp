@@ -84,6 +84,7 @@ void model_flood() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   (void)argc;
   (void)argv;
   std::printf("Ablation: broadcast routing cost (paper §III-C)\n");

@@ -95,6 +95,7 @@ result run_collective(const routing::topology& topo,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   const int msgs =
       static_cast<int>(bench::flag_int(argc, argv, "msgs", 4000));
 

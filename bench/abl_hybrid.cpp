@@ -83,6 +83,7 @@ void compare(const routing::topology& topo, routing::scheme_kind kind,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   const int p2p =
       static_cast<int>(bench::flag_int(argc, argv, "p2p", 3000));
   const int bcasts =

@@ -109,6 +109,7 @@ double run_async(const routing::topology& topo, routing::scheme_kind kind,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   workload w;
   w.rounds = static_cast<int>(bench::flag_int(argc, argv, "rounds", 16));
   w.skew = static_cast<double>(bench::flag_int(argc, argv, "skew", 4));

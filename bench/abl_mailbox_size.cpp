@@ -105,6 +105,7 @@ void executed_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   (void)argc;
   (void)argv;
   std::printf("Ablation: mailbox capacity vs coalescing effectiveness "

@@ -13,12 +13,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/evaluator.hpp"
 #include "net/params.hpp"
 #include "routing/router.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ygm::bench {
 
@@ -55,6 +57,81 @@ inline std::int64_t flag_int(int argc, char** argv, const std::string& name,
   }
   return fallback;
 }
+
+/// String-valued flag, accepted as "--name value" or "--name=value".
+inline std::string flag_str(int argc, char** argv, const std::string& name,
+                            const std::string& fallback = "") {
+  const std::string key = "--" + name;
+  const std::string key_eq = key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == key && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(key_eq, 0) == 0) return arg.substr(key_eq.size());
+  }
+  return fallback;
+}
+
+// ------------------------------------------------------------- telemetry
+
+/// Per-bench telemetry driver. Construct first thing in main(); when any of
+///   --trace-out=<file>.json     Chrome trace_event JSON (chrome://tracing
+///                               or https://ui.perfetto.dev)
+///   --metrics-out=<file>.json   merged counters/gauges/histograms
+///   --telemetry-summary         end-of-run text summary table
+///   YGM_TELEMETRY=1             environment fallback (implies summary)
+/// is present, a telemetry session is installed globally, every mpisim::run
+/// in the bench records per-rank lanes, and the destructor writes the
+/// requested outputs. With none present no session exists and the
+/// instrumentation costs one thread-local load + branch per hook.
+class telemetry_guard {
+ public:
+  telemetry_guard(int argc, char** argv)
+      : trace_out_(flag_str(argc, argv, "trace-out")),
+        metrics_out_(flag_str(argc, argv, "metrics-out")),
+        summary_(has_flag(argc, argv, "telemetry-summary")) {
+    const char* env = std::getenv("YGM_TELEMETRY");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') summary_ = true;
+    if (trace_out_.empty() && metrics_out_.empty() && !summary_) return;
+    session_ = std::make_unique<telemetry::session>();
+    telemetry::set_global(session_.get());
+  }
+
+  ~telemetry_guard() {
+    if (session_ == nullptr) return;
+    telemetry::set_global(nullptr);
+    if (!trace_out_.empty()) {
+      if (session_->write_chrome_trace(trace_out_)) {
+        std::fprintf(stderr, "telemetry: wrote Chrome trace to %s\n",
+                     trace_out_.c_str());
+      } else {
+        std::fprintf(stderr, "telemetry: FAILED to write %s\n",
+                     trace_out_.c_str());
+      }
+    }
+    if (!metrics_out_.empty()) {
+      if (session_->write_metrics_json(metrics_out_)) {
+        std::fprintf(stderr, "telemetry: wrote metrics to %s\n",
+                     metrics_out_.c_str());
+      } else {
+        std::fprintf(stderr, "telemetry: FAILED to write %s\n",
+                     metrics_out_.c_str());
+      }
+    }
+    if (summary_) session_->print_summary();
+  }
+
+  telemetry_guard(const telemetry_guard&) = delete;
+  telemetry_guard& operator=(const telemetry_guard&) = delete;
+
+  bool active() const noexcept { return session_ != nullptr; }
+  telemetry::session* session() const noexcept { return session_.get(); }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  bool summary_ = false;
+  std::unique_ptr<telemetry::session> session_;
+};
 
 // ---------------------------------------------------------- table output
 

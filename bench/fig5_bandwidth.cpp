@@ -97,6 +97,7 @@ void executed_pingpong() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   (void)argc;
   (void)argv;
   std::printf("Fig. 5 reproduction: bandwidth vs message size "

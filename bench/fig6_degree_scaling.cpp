@@ -80,7 +80,7 @@ void executed_scaling(bool weak, std::uint64_t edges_per_rank,
                   "wire bytes/rank"});
   const std::uint64_t total_edges_strong = edges_per_rank * 8;
 
-  for (const auto [nodes, cores] :
+  for (const auto& [nodes, cores] :
        {std::pair{1, 4}, {2, 4}, {4, 4}, {8, 4}}) {
     const routing::topology topo(nodes, cores);
     const std::uint64_t edges =
@@ -128,6 +128,7 @@ void executed_scaling(bool weak, std::uint64_t edges_per_rank,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   const bool weak_only = bench::has_flag(argc, argv, "weak");
   const bool strong_only = bench::has_flag(argc, argv, "strong");
   const auto edges_per_rank = static_cast<std::uint64_t>(

@@ -111,7 +111,8 @@ void executed_scaling(bool weak, int scale_per_rank) {
   bench::table t({"nodes x cores", "scheme", "edges", "delegates", "passes",
                   "broadcasts", "wall (s)", "modeled (s)"});
 
-  for (const auto [nodes, cores] : {std::pair{1, 4}, {2, 4}, {4, 4}, {8, 4}}) {
+  for (const auto& [nodes, cores] :
+       {std::pair{1, 4}, {2, 4}, {4, 4}, {8, 4}}) {
     const routing::topology topo(nodes, cores);
     const int scale =
         weak ? scale_per_rank + static_cast<int>(
@@ -179,6 +180,7 @@ void executed_scaling(bool weak, int scale_per_rank) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   const bool weak_only = bench::has_flag(argc, argv, "weak");
   const bool strong_only = bench::has_flag(argc, argv, "strong");
   const int scale_per_rank =

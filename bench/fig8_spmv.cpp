@@ -175,7 +175,7 @@ void executed_weak(bool skewed, int base_scale) {
   bench::table t({"ranks", "scale", "nnz", "delegates", "YGM wall (s)",
                   "CombBLAS wall (s)", "YGM modeled (s)"});
 
-  for (const auto [ranks, cores] : {std::pair{4, 2}, {16, 4}}) {
+  for (const auto& [ranks, cores] : {std::pair{4, 2}, {16, 4}}) {
     const int scale = base_scale + (ranks == 16 ? 2 : 0);
     const std::uint64_t n = 1ULL << scale;
     const std::uint64_t nnz = 8 * n;
@@ -250,7 +250,7 @@ void executed_web_strong(int scale) {
   const auto params = graph::rmat_params::webgraph_like();
 
   bench::table t({"ranks", "mailbox", "YGM wall (s)", "CombBLAS wall (s)"});
-  for (const auto [ranks, cores] : {std::pair{4, 2}, {16, 4}, {36, 6}}) {
+  for (const auto& [ranks, cores] : {std::pair{4, 2}, {16, 4}, {36, 6}}) {
     const std::size_t capacity = 256u * static_cast<std::size_t>(ranks);
     double ygm_wall = 0;
     double cb_wall = 0;
@@ -292,6 +292,7 @@ void executed_web_strong(int scale) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   const bool rmat = bench::has_flag(argc, argv, "rmat");
   const bool uniform = bench::has_flag(argc, argv, "uniform");
   const bool web = bench::has_flag(argc, argv, "web");

@@ -55,6 +55,7 @@ void partner_table(int nodes, int cores) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
   (void)argc;
   (void)argv;
   std::printf("§III-E analysis tables (channel structure and message-size "

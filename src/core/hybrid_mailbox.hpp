@@ -36,6 +36,7 @@
 #include "core/stats.hpp"
 #include "core/termination.hpp"
 #include "ser/serialize.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ygm::core {
 
@@ -109,6 +110,10 @@ class hybrid_mailbox {
   /// (wait_empty) first. Swallows transport errors so unwinding after an
   /// aborted world cannot terminate.
   ~hybrid_mailbox() {
+    if (auto* rec = telemetry::tls()) {
+      stats_.publish(rec->metrics());
+      rec->metrics().counter("hybrid.shared_handoffs") += shared_handoffs_;
+    }
     try {
       world_->mpi().barrier();
     } catch (...) {  // NOLINT(bugprone-empty-catch)
@@ -151,6 +156,7 @@ class hybrid_mailbox {
   }
 
   void flush() {
+    const std::size_t flushed_bytes = queued_bytes_;
     bool any = false;
     for (int nh : nonempty_) {
       flush_buffer(nh);
@@ -158,7 +164,11 @@ class hybrid_mailbox {
     }
     nonempty_.clear();
     queued_bytes_ = 0;
-    if (any) ++stats_.flushes;
+    if (any) {
+      ++stats_.flushes;
+      telemetry::instant("mailbox.flush", "bytes", flushed_bytes,
+                         world_->timed() ? world_->virtual_now() * 1e6 : -1);
+    }
   }
 
   // ---------------------------------------------------------- termination
@@ -170,6 +180,7 @@ class hybrid_mailbox {
   }
 
   void wait_empty() {
+    telemetry::span sp("mailbox.wait_empty");
     std::uint64_t prev_sent = ~std::uint64_t{0};
     std::uint64_t prev_recv = ~std::uint64_t{0};
     for (;;) {
@@ -189,6 +200,8 @@ class hybrid_mailbox {
       prev_sent = totals.first;
       prev_recv = totals.second;
     }
+    sp.arg("hops_sent", stats_.hops_sent);
+    if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
   }
 
   const mailbox_stats& stats() const noexcept { return stats_; }
@@ -208,6 +221,8 @@ class hybrid_mailbox {
       ++shared_handoffs_;
       ++stats_.local_packets;  // one handoff ~ one (unserialized) packet
       stats_.local_bytes += rec.payload->size();
+      telemetry::sample(telemetry::fast_histogram::local_packet_bytes,
+                        static_cast<double>(rec.payload->size()));
       if (world_->timed()) {
         // A zero-copy handoff still crosses shared memory once.
         rec.arrival_vtime =
@@ -232,10 +247,14 @@ class hybrid_mailbox {
 
   void maybe_exchange() {
     if (queued_bytes_ >= capacity_ && !in_exchange_) {
+      telemetry::span sp("mailbox.exchange");
+      sp.arg("queued_bytes", queued_bytes_);
+      sp.sample_into(telemetry::fast_histogram::exchange_us);
       in_exchange_ = true;
       flush();
       poll_incoming();
       in_exchange_ = false;
+      if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
     }
   }
 
@@ -245,6 +264,8 @@ class hybrid_mailbox {
     YGM_ASSERT(world_->topo().is_remote(world_->rank(), nh));
     ++stats_.remote_packets;
     stats_.remote_bytes += buf.size();
+    telemetry::sample(telemetry::fast_histogram::remote_packet_bytes,
+                      static_cast<double>(buf.size()));
     // Hop counting happened at forward() time for the hybrid (local and
     // remote alike), so flushing only ships bytes.
     record_counts_[static_cast<std::size_t>(nh)] = 0;
@@ -313,13 +334,18 @@ class hybrid_mailbox {
       deliver(*rec.payload);
       for (int nh : world_->route().bcast_next_hops(me, rec.addr)) {
         ++stats_.forwards;
+        fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
+                           static_cast<std::uint64_t>(nh));
         forward(nh, detail::shared_record{rec.payload, rec.addr, true});
       }
     } else if (rec.addr == me) {
       deliver(*rec.payload);
     } else {
       ++stats_.forwards;
-      forward(world_->route().next_hop(me, rec.addr), std::move(rec));
+      const int nh = world_->route().next_hop(me, rec.addr);
+      fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
+                         static_cast<std::uint64_t>(nh));
+      forward(nh, std::move(rec));
     }
   }
 
@@ -349,6 +375,10 @@ class hybrid_mailbox {
   std::uint64_t shared_handoffs_ = 0;
 
   mailbox_stats stats_;
+
+  // Timeline event per intermediary re-queue: arg0 = destination (or bcast
+  // origin), arg1 = chosen next hop.
+  telemetry::instant_marker fwd_marker_{"mailbox.forward", "dst", "next_hop"};
 };
 
 }  // namespace ygm::core

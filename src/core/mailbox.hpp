@@ -39,6 +39,7 @@
 #include "core/stats.hpp"
 #include "core/termination.hpp"
 #include "ser/serialize.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ygm::core {
 
@@ -69,6 +70,12 @@ class mailbox {
 
   mailbox(const mailbox&) = delete;
   mailbox& operator=(const mailbox&) = delete;
+
+  /// Teardown publishes this mailbox's counters into the rank's telemetry
+  /// registry (when one is attached); several mailboxes on one rank sum.
+  ~mailbox() {
+    if (auto* rec = telemetry::tls()) stats_.publish(rec->metrics());
+  }
 
   // ------------------------------------------------------------- sending
 
@@ -116,6 +123,7 @@ class mailbox {
   /// Flush all coalescing buffers to their next hops, even partially full
   /// ones (the paper's "including empty buffers" flush on termination).
   void flush() {
+    const std::size_t flushed_bytes = queued_bytes_;
     bool any = false;
     for (int nh : nonempty_) {
       flush_buffer(nh);
@@ -123,7 +131,11 @@ class mailbox {
     }
     nonempty_.clear();
     queued_bytes_ = 0;
-    if (any) ++stats_.flushes;
+    if (any) {
+      ++stats_.flushes;
+      telemetry::instant("mailbox.flush", "bytes", flushed_bytes,
+                         world_->timed() ? world_->virtual_now() * 1e6 : -1);
+    }
   }
 
   // ---------------------------------------------------------- termination
@@ -142,6 +154,7 @@ class mailbox {
   /// rank of the world must call it. Keeps draining and forwarding while
   /// waiting, so intermediaries stay live until everyone is done.
   void wait_empty() {
+    telemetry::span sp("mailbox.wait_empty");
     std::uint64_t prev_sent = ~std::uint64_t{0};
     std::uint64_t prev_recv = ~std::uint64_t{0};
     for (;;) {
@@ -161,6 +174,8 @@ class mailbox {
       prev_sent = totals.first;
       prev_recv = totals.second;
     }
+    sp.arg("hops_sent", stats_.hops_sent);
+    if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
   }
 
   // ----------------------------------------------------------- inspection
@@ -192,10 +207,17 @@ class mailbox {
 
   void maybe_exchange() {
     if (queued_bytes_ >= capacity_ && !in_exchange_) {
+      // A communication context (paper "exchange"): one span per entry,
+      // with the trigger volume attached and the duration sampled into the
+      // exchange-time histogram.
+      telemetry::span sp("mailbox.exchange");
+      sp.arg("queued_bytes", queued_bytes_);
+      sp.sample_into(telemetry::fast_histogram::exchange_us);
       in_exchange_ = true;
       flush();
       poll_incoming();
       in_exchange_ = false;
+      if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
     }
   }
 
@@ -206,9 +228,13 @@ class mailbox {
     if (remote) {
       ++stats_.remote_packets;
       stats_.remote_bytes += buf.size();
+      telemetry::sample(telemetry::fast_histogram::remote_packet_bytes,
+                        static_cast<double>(buf.size()));
     } else {
       ++stats_.local_packets;
       stats_.local_bytes += buf.size();
+      telemetry::sample(telemetry::fast_histogram::local_packet_bytes,
+                        static_cast<double>(buf.size()));
     }
     stats_.hops_sent += record_counts_[static_cast<std::size_t>(nh)];
     record_counts_[static_cast<std::size_t>(nh)] = 0;
@@ -258,6 +284,8 @@ class mailbox {
           fwd_scratch_.assign(rec.payload.begin(), rec.payload.end());
           for (int nh : hops) {
             ++stats_.forwards;
+            fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
+                               static_cast<std::uint64_t>(nh));
             enqueue(nh, /*bcast=*/true, rec.addr, fwd_scratch_);
           }
         }
@@ -266,8 +294,10 @@ class mailbox {
       } else {
         ++stats_.forwards;
         fwd_scratch_.assign(rec.payload.begin(), rec.payload.end());
-        enqueue(world_->route().next_hop(me, rec.addr), /*bcast=*/false,
-                rec.addr, fwd_scratch_);
+        const int nh = world_->route().next_hop(me, rec.addr);
+        fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
+                           static_cast<std::uint64_t>(nh));
+        enqueue(nh, /*bcast=*/false, rec.addr, fwd_scratch_);
       }
     }
   }
@@ -296,6 +326,10 @@ class mailbox {
   std::vector<std::byte> scratch_;      // serialization of outgoing messages
   std::vector<std::byte> fwd_scratch_;  // copy buffer for forwarded payloads
   mailbox_stats stats_;
+
+  // Timeline event for each record this rank re-queues as an intermediary:
+  // arg0 = final destination (or bcast origin), arg1 = chosen next hop.
+  telemetry::instant_marker fwd_marker_{"mailbox.forward", "dst", "next_hop"};
 };
 
 }  // namespace ygm::core

@@ -4,11 +4,19 @@
 // model: benches run the real mailbox at thread scale, then price the
 // recorded local/remote packet traffic on the Fig. 5 bandwidth curve to
 // report modeled time next to wall time (DESIGN.md §2).
+//
+// The struct keeps its plain-counter cost-model API (cheap, copyable,
+// gatherable over mpisim), and additionally knows how to publish itself
+// into a telemetry::metrics_registry so the mailbox layers feed the
+// telemetry subsystem without a second set of counters.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "net/params.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ygm::core {
 
@@ -40,13 +48,23 @@ struct mailbox_stats {
     return *this;
   }
 
+  /// Average packet size for a (packets, bytes) counter pair; 0 when no
+  /// packets were recorded.
+  static double avg_bytes(std::uint64_t packets, std::uint64_t bytes) {
+    return packets == 0
+               ? 0.0
+               : static_cast<double>(bytes) / static_cast<double>(packets);
+  }
+
   /// Average coalesced wire packet size — the quantity the routing schemes
   /// exist to maximize (paper §III-E).
   double avg_remote_packet_bytes() const {
-    return remote_packets == 0
-               ? 0.0
-               : static_cast<double>(remote_bytes) /
-                     static_cast<double>(remote_packets);
+    return avg_bytes(remote_packets, remote_bytes);
+  }
+
+  /// Average same-node packet size.
+  double avg_local_packet_bytes() const {
+    return avg_bytes(local_packets, local_bytes);
   }
 
   /// Price this rank's recorded traffic on a network model: transfer time
@@ -54,16 +72,35 @@ struct mailbox_stats {
   double modeled_comm_seconds(const net::network_params& np) const {
     double t = 0;
     if (remote_packets != 0) {
-      const double pkt = avg_remote_packet_bytes();
-      t += static_cast<double>(remote_packets) * np.remote.transfer_time(pkt);
+      t += static_cast<double>(remote_packets) *
+           np.remote.transfer_time(avg_bytes(remote_packets, remote_bytes));
     }
     if (local_packets != 0) {
-      const double pkt = static_cast<double>(local_bytes) /
-                         static_cast<double>(local_packets);
-      t += static_cast<double>(local_packets) * np.local.transfer_time(pkt);
+      t += static_cast<double>(local_packets) *
+           np.local.transfer_time(avg_bytes(local_packets, local_bytes));
     }
     t += static_cast<double>(hops_sent + hops_received) * np.cpu_s_per_msg;
     return t;
+  }
+
+  /// Accumulate these counters into a metrics registry under
+  /// "<prefix>.<counter>" (the telemetry taxonomy in docs/TELEMETRY.md).
+  /// Summing is the right merge for multiple mailboxes on one rank and for
+  /// cross-rank aggregation alike.
+  void publish(telemetry::metrics_registry& m,
+               std::string_view prefix = "mailbox") const {
+    const std::string p(prefix);
+    m.counter(p + ".app_sends") += app_sends;
+    m.counter(p + ".app_bcasts") += app_bcasts;
+    m.counter(p + ".deliveries") += deliveries;
+    m.counter(p + ".hops_sent") += hops_sent;
+    m.counter(p + ".hops_received") += hops_received;
+    m.counter(p + ".forwards") += forwards;
+    m.counter(p + ".local_packets") += local_packets;
+    m.counter(p + ".remote_packets") += remote_packets;
+    m.counter(p + ".local_bytes") += local_bytes;
+    m.counter(p + ".remote_bytes") += remote_bytes;
+    m.counter(p + ".flushes") += flushes;
   }
 };
 

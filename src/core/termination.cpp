@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ygm::core {
 
@@ -42,6 +43,8 @@ bool termination_detector::poll(std::uint64_t sent, std::uint64_t received) {
     prev_recv_ = received;
     ++round_;
     quiescent_ = q;
+    telemetry::add(telemetry::fast_counter::term_rounds);
+    if (q) telemetry::instant("term.quiescent", "round", round_);
     return q;
   }
 
@@ -100,6 +103,11 @@ void termination_detector::apply_verdict(bool quiescent) {
   stage_ = stage::gather_children;
   children_initialized_ = false;
   quiescent_ = quiescent;
+  telemetry::add(telemetry::fast_counter::term_rounds);
+  // One timeline mark when detection fires (per-round instants would crowd
+  // the ring during long TEST_EMPTY polling phases; the round count is the
+  // "term.rounds" counter).
+  if (quiescent) telemetry::instant("term.quiescent", "round", round_);
 }
 
 }  // namespace ygm::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "telemetry/telemetry.hpp"
+
 namespace ygm::mpisim {
 
 comm::comm(world& w, std::shared_ptr<const std::vector<int>> members, int rank,
@@ -20,6 +22,8 @@ double comm::wtime() const { return world_->wtime(); }
 
 void comm::send_bytes(int dest, int tag, std::vector<std::byte> payload) const {
   YGM_CHECK(tag >= 0 && tag <= tag_ub, "user tag out of range");
+  telemetry::add(telemetry::fast_counter::mpi_sends);
+  telemetry::add(telemetry::fast_counter::mpi_send_bytes, payload.size());
   world_->slot(world_rank_of(dest))
       .deliver(envelope{rank_, tag, ctx_p2p_, std::move(payload)});
 }
@@ -29,16 +33,24 @@ std::vector<std::byte> comm::recv_bytes(int src, int tag, status* st) const {
   if (st != nullptr) {
     *st = status{e.src, e.tag, e.payload.size()};
   }
+  telemetry::add(telemetry::fast_counter::mpi_recvs);
+  telemetry::add(telemetry::fast_counter::mpi_recv_bytes, e.payload.size());
   return std::move(e.payload);
 }
 
 void comm::coll_send_bytes(int dest, int tag, std::vector<std::byte> p) const {
+  telemetry::add(telemetry::fast_counter::mpi_sends);
+  telemetry::add(telemetry::fast_counter::mpi_send_bytes, p.size());
   world_->slot(world_rank_of(dest))
       .deliver(envelope{rank_, tag, ctx_coll_, std::move(p)});
 }
 
 std::vector<std::byte> comm::coll_recv_bytes(int src, int tag) const {
-  return world_->slot(world_rank_of(rank_)).recv_match(src, tag, ctx_coll_).payload;
+  envelope e =
+      world_->slot(world_rank_of(rank_)).recv_match(src, tag, ctx_coll_);
+  telemetry::add(telemetry::fast_counter::mpi_recvs);
+  telemetry::add(telemetry::fast_counter::mpi_recv_bytes, e.payload.size());
+  return std::move(e.payload);
 }
 
 std::optional<status> comm::iprobe(int src, int tag) const {
@@ -56,6 +68,7 @@ std::size_t comm::pending_messages() const {
 void comm::barrier() const {
   // Dissemination barrier: ceil(log2 P) rounds; in round r every rank sends
   // a token 2^r ahead and waits for the token from 2^r behind.
+  telemetry::add(telemetry::fast_counter::mpi_collectives);
   const int p = size();
   const std::uint64_t seq = coll_seq_++;
   int round = 0;

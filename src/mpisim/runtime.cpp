@@ -4,10 +4,12 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ygm::mpisim {
 
@@ -15,6 +17,13 @@ void run(int nranks, const std::function<void(comm&)>& fn) {
   YGM_CHECK(nranks > 0, "run() requires a positive rank count");
 
   world w(nranks);
+
+  // With a telemetry session installed, every rank thread records onto its
+  // own (world, rank) lane; the top-level "rank.main" span covers the whole
+  // rank function, so per-rank span coverage of wall time is complete by
+  // construction.
+  telemetry::session* const tsess = telemetry::global();
+  const int tworld = tsess != nullptr ? tsess->begin_world(nranks) : -1;
 
   auto members = std::make_shared<const std::vector<int>>([&] {
     std::vector<int> m(static_cast<std::size_t>(nranks));
@@ -29,6 +38,9 @@ void run(int nranks, const std::function<void(comm&)>& fn) {
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      std::optional<telemetry::rank_scope> tscope;
+      if (tsess != nullptr) tscope.emplace(*tsess, tworld, r);
+      telemetry::span rank_span("rank.main");
       comm c(w, members, r, world::world_context, world::world_context + 1);
       try {
         fn(c);

@@ -1,6 +1,16 @@
 #include "routing/router.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace ygm::routing {
+
+// telemetry's per-scheme hop counters are indexed by scheme_kind's
+// underlying value; keep the two enumerations in lockstep.
+static_assert(static_cast<unsigned>(scheme_kind::no_route) == 0 &&
+                  static_cast<unsigned>(scheme_kind::node_local) == 1 &&
+                  static_cast<unsigned>(scheme_kind::node_remote) == 2 &&
+                  static_cast<unsigned>(scheme_kind::nlnr) == 3,
+              "scheme_kind order must match telemetry's scheme hop table");
 
 std::string_view to_string(scheme_kind k) {
   switch (k) {
@@ -20,6 +30,12 @@ int router::next_hop(int here, int dst) const {
   YGM_ASSERT(here != dst);
   YGM_ASSERT(here >= 0 && here < topo_.num_ranks());
   YGM_ASSERT(dst >= 0 && dst < topo_.num_ranks());
+  // One tls() load for both hot-path counters: next_hop runs per queued
+  // record, so the idle cost here must stay at a single load + branch.
+  if (telemetry::recorder* rec = telemetry::tls()) {
+    rec->fast_add(telemetry::fast_counter::route_next_hop, 1);
+    rec->fast_add_scheme_hop(static_cast<unsigned>(kind_));
+  }
   switch (kind_) {
     case scheme_kind::no_route:
       return dst;
@@ -63,6 +79,12 @@ int router::next_hop_nlnr(int here, int dst) const {
 }
 
 std::vector<int> router::bcast_next_hops(int here, int origin) const {
+  std::vector<int> out = bcast_next_hops_impl(here, origin);
+  telemetry::add(telemetry::fast_counter::route_bcast_fanout, out.size());
+  return out;
+}
+
+std::vector<int> router::bcast_next_hops_impl(int here, int origin) const {
   const int n_here = topo_.node_of(here);
   const int n_orig = topo_.node_of(origin);
   std::vector<int> out;

@@ -75,6 +75,7 @@ class router {
   long long bcast_remote_messages() const;
 
  private:
+  std::vector<int> bcast_next_hops_impl(int here, int origin) const;
   int next_hop_node_local(int here, int dst) const;
   int next_hop_node_remote(int here, int dst) const;
   int next_hop_nlnr(int here, int dst) const;

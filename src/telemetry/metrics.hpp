@@ -1,0 +1,149 @@
+// Metrics registry: named counters, gauges, and log2-bucketed histograms.
+//
+// Each simulated rank owns one registry (inside its telemetry::recorder), so
+// updates are plain unsynchronized memory writes — the "lock-free per-rank"
+// half of the design. Cross-rank aggregation happens only at export time,
+// when the session merges every rank's registry into one (counters sum,
+// gauges keep the max, histograms merge bucket-wise). Names are dotted
+// paths ("mailbox.remote_bytes", "term.rounds"); docs/TELEMETRY.md lists
+// the taxonomy the built-in instrumentation emits.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ygm::telemetry {
+
+/// Power-of-two bucketed histogram of non-negative samples. Bucket i counts
+/// samples in [2^(i-1), 2^i); bucket 0 counts samples < 1. Exact count /
+/// sum / min / max ride along, so averages are exact and only percentiles
+/// are bucket-resolution approximations (within 2x, interpolated).
+class histogram {
+ public:
+  static constexpr int num_buckets = 64;
+
+  void record(double v) noexcept {
+    if (v < 0) v = 0;
+    ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// Approximate p-quantile, p in [0, 1]: locate the bucket holding the
+  /// p-th sample and interpolate linearly inside it. Clamped to the exact
+  /// observed [min, max] so tails never overshoot reality.
+  double percentile(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (p <= 0) return min();
+    if (p >= 1) return max();
+    const double target = p * static_cast<double>(count_);
+    double seen = 0;
+    for (int b = 0; b < num_buckets; ++b) {
+      const double n = static_cast<double>(buckets_[static_cast<std::size_t>(b)]);
+      if (n == 0) continue;
+      if (seen + n >= target) {
+        const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+        const double hi = std::ldexp(1.0, b);
+        const double frac = (target - seen) / n;
+        const double v = lo + frac * (hi - lo);
+        return std::min(std::max(v, min()), max());
+      }
+      seen += n;
+    }
+    return max();
+  }
+
+  void merge(const histogram& o) noexcept {
+    for (int b = 0; b < num_buckets; ++b) {
+      buckets_[static_cast<std::size_t>(b)] +=
+          o.buckets_[static_cast<std::size_t>(b)];
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.count_ != 0) {
+      if (o.min_ < min_) min_ = o.min_;
+      if (o.max_ > max_) max_ = o.max_;
+    }
+  }
+
+ private:
+  static int bucket_of(double v) noexcept {
+    if (v < 1.0) return 0;
+    int e = 0;
+    std::frexp(v, &e);  // v = m * 2^e with m in [0.5, 1)
+    return e < num_buckets ? e : num_buckets - 1;
+  }
+
+  std::array<std::uint64_t, num_buckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = 0;
+};
+
+/// Create-or-get registry of named metrics. Ordered maps so exports and
+/// summary tables are deterministic. Not thread-safe by design: one
+/// registry per rank, merged single-threaded at export.
+class metrics_registry {
+ public:
+  /// Monotonic counter (merge: sum).
+  std::uint64_t& counter(std::string_view name) {
+    return counters_.try_emplace(std::string(name), 0).first->second;
+  }
+
+  /// Last-value gauge (merge: max across ranks — "worst rank" semantics,
+  /// right for clocks and high-water marks).
+  double& gauge(std::string_view name) {
+    return gauges_.try_emplace(std::string(name), 0.0).first->second;
+  }
+
+  /// Distribution (merge: bucket-wise).
+  histogram& histo(std::string_view name) {
+    return histos_.try_emplace(std::string(name)).first->second;
+  }
+
+  void merge(const metrics_registry& o) {
+    for (const auto& [k, v] : o.counters_) counter(k) += v;
+    for (const auto& [k, v] : o.gauges_) {
+      double& g = gauge(k);
+      if (v > g) g = v;
+    }
+    for (const auto& [k, v] : o.histos_) histo(k).merge(v);
+  }
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histos_.empty();
+  }
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, histogram, std::less<>>& histos() const {
+    return histos_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, histogram, std::less<>> histos_;
+};
+
+}  // namespace ygm::telemetry

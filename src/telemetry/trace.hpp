@@ -1,0 +1,91 @@
+// Timeline tracing: compact trace events in a bounded per-rank ring buffer.
+//
+// Two event shapes, mirroring the Chrome trace_event phases they export to:
+//   complete ("X") — a span with a start timestamp and a duration
+//                    (begin/end collapse into one record at end time, so a
+//                    partially overwritten ring never yields unbalanced
+//                    begin/end pairs);
+//   instant  ("i") — a point event (flush trigger, quiescence verdict, ...).
+//
+// Events carry interned name/arg-name ids (the recorder owns the string
+// table) and up to two integer args plus an optional virtual-time stamp, so
+// one record is 64 bytes and recording is a few stores — cheap enough to
+// leave on in instrumented hot paths.
+//
+// Overflow policy: the ring OVERWRITES OLDEST. A long run keeps the most
+// recent window of events (the part of the timeline a stall investigation
+// looks at) and the exporter reports how many older events were dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ygm::telemetry {
+
+enum class event_kind : std::uint8_t { complete, instant };
+
+/// Interned-string id (index into the owning recorder's name table).
+using name_id = std::uint32_t;
+inline constexpr name_id no_name = 0xffffffffu;
+
+struct trace_event {
+  double ts_us = 0;    ///< start time, microseconds since session epoch
+  double dur_us = 0;   ///< complete events only
+  double vtime_us = -1;  ///< virtual-clock stamp (microseconds), < 0 if none
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  name_id name = no_name;
+  name_id arg0_name = no_name;  ///< no_name when arg0 unused
+  name_id arg1_name = no_name;
+  event_kind kind = event_kind::instant;
+};
+
+/// Fixed-capacity ring of trace events, overwrite-oldest on overflow.
+class event_ring {
+ public:
+  explicit event_ring(std::size_t capacity) : events_(capacity) {}
+
+  void push(const trace_event& e) noexcept {
+    if (events_.empty()) {
+      ++recorded_;
+      return;  // capacity 0: tracing off, still count for diagnostics
+    }
+    events_[static_cast<std::size_t>(recorded_ % events_.size())] = e;
+    ++recorded_;
+  }
+
+  std::size_t capacity() const noexcept { return events_.size(); }
+
+  /// Total events ever pushed.
+  std::uint64_t recorded() const noexcept { return recorded_; }
+
+  /// Events lost to overwriting (oldest first).
+  std::uint64_t dropped() const noexcept {
+    return recorded_ > events_.size() ? recorded_ - events_.size() : 0;
+  }
+
+  /// Events currently retained.
+  std::size_t size() const noexcept {
+    return recorded_ < events_.size() ? static_cast<std::size_t>(recorded_)
+                                      : events_.size();
+  }
+
+  /// Visit retained events oldest to newest.
+  template <class F>
+  void for_each(F&& f) const {
+    const std::size_t n = size();
+    if (n == 0) return;
+    const std::size_t start =
+        static_cast<std::size_t>((recorded_ - n) % events_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      f(events_[(start + i) % events_.size()]);
+    }
+  }
+
+ private:
+  std::vector<trace_event> events_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace ygm::telemetry

@@ -218,7 +218,6 @@ TEST(ConnectedComponents, DelegatesReduceLabelTrafficOnSkewedGraphs) {
   for (int use_delegates = 0; use_delegates < 2; ++use_delegates) {
     sim::run(topo.num_ranks(), [&](sim::comm& c) {
       comm_world world(c, topo, scheme_kind::node_local);
-      const round_robin_partition part{c.size()};
       std::vector<edge> mine;
       for (std::size_t i = 0; i < edges.size(); ++i) {
         if (static_cast<int>(i % 4) == c.rank()) mine.push_back(edges[i]);

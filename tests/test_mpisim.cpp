@@ -218,7 +218,9 @@ TEST(Nonblocking, WaitAllDrainsMixedRequests) {
     }
     sim::wait_all(reqs);
     for (int r = 0; r < c.size(); ++r) {
-      if (r != c.rank()) EXPECT_EQ(out[static_cast<std::size_t>(r)], r);
+      if (r != c.rank()) {
+        EXPECT_EQ(out[static_cast<std::size_t>(r)], r);
+      }
     }
   });
 }
@@ -249,7 +251,9 @@ TEST(Collectives, BcastFromEveryRoot) {
 TEST(Collectives, ReduceSumsAtRoot) {
   sim::run(7, [](sim::comm& c) {
     const int total = c.reduce(c.rank() + 1, sim::op_sum{}, 3);
-    if (c.rank() == 3) EXPECT_EQ(total, 7 * 8 / 2);
+    if (c.rank() == 3) {
+      EXPECT_EQ(total, 7 * 8 / 2);
+    }
   });
 }
 

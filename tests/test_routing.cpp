@@ -311,7 +311,9 @@ TEST(Formulas, SingleCorePerNodeDegeneratesGracefully) {
     const router r(kind, t);
     for (int s = 0; s < t.num_ranks(); ++s) {
       for (int d = 0; d < t.num_ranks(); ++d) {
-        if (s != d) EXPECT_EQ(r.next_hop(s, d), d);
+        if (s != d) {
+          EXPECT_EQ(r.next_hop(s, d), d);
+        }
       }
     }
   }
