@@ -50,6 +50,19 @@ class comm_world {
   void barrier() const { comm_->barrier(); }
   double wtime() const { return comm_->wtime(); }
 
+  // --------------------------------------------------- debug / chaos knobs
+
+  /// When set, mailboxes round-trip rank-local deliveries through ser::
+  /// instead of handing the object straight to the callback. Self-sends
+  /// normally bypass serialization entirely, so an asymmetric serialize()
+  /// only misbehaves once a message happens to cross ranks — this knob makes
+  /// single-rank runs and chaos trials exercise the same code path as remote
+  /// traffic.
+  void set_serialize_self_sends(bool on) noexcept {
+    serialize_self_sends_ = on;
+  }
+  bool serialize_self_sends() const noexcept { return serialize_self_sends_; }
+
   // -------------------------------------------------------- virtual time
   //
   // Optional conservative virtual-time simulation: when a network model is
@@ -98,6 +111,7 @@ class comm_world {
   mpisim::comm* comm_;
   routing::router router_;
   int next_tag_;
+  bool serialize_self_sends_ = false;
   std::optional<net::network_params> vnet_;
   double vclock_ = 0;
 };

@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -126,6 +127,14 @@ class hybrid_mailbox {
     YGM_CHECK(dest >= 0 && dest < world_->size(), "send destination invalid");
     ++stats_.app_sends;
     if (dest == world_->rank()) {
+      if (world_->serialize_self_sends()) {
+        // Debug/chaos path: self-sends round-trip through ser:: like any
+        // remote message, so asymmetric serialize() bugs surface locally.
+        std::vector<std::byte> buf;
+        ser::append_bytes(m, buf);
+        deliver(buf);
+        return;
+      }
       ++stats_.deliveries;
       on_recv_(m);
       return;
@@ -179,27 +188,13 @@ class hybrid_mailbox {
     return term_.poll(stats_.hops_sent, stats_.hops_received);
   }
 
+  /// Blocking loop over the same tree detector as test_empty() — see
+  /// core::mailbox::wait_empty() for why the two must share one protocol
+  /// (mixing the old blocking-allreduce path with test_empty() across ranks
+  /// deadlocked).
   void wait_empty() {
     telemetry::span sp("mailbox.wait_empty");
-    std::uint64_t prev_sent = ~std::uint64_t{0};
-    std::uint64_t prev_recv = ~std::uint64_t{0};
-    for (;;) {
-      poll_incoming();
-      flush();
-      const auto totals = world_->mpi().allreduce(
-          std::pair<std::uint64_t, std::uint64_t>{stats_.hops_sent,
-                                                  stats_.hops_received},
-          [](const auto& a, const auto& b) {
-            return std::pair<std::uint64_t, std::uint64_t>{
-                a.first + b.first, a.second + b.second};
-          });
-      if (totals.first == totals.second && totals.first == prev_sent &&
-          totals.second == prev_recv) {
-        break;
-      }
-      prev_sent = totals.first;
-      prev_recv = totals.second;
-    }
+    while (!test_empty()) std::this_thread::yield();
     sp.arg("hops_sent", stats_.hops_sent);
     if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
   }
@@ -233,11 +228,14 @@ class hybrid_mailbox {
       return;
     }
     auto& buf = buffers_[static_cast<std::size_t>(next_hop)];
+    // Sample `before` ahead of the arrival-stamp reservation: the 8-byte
+    // stamp must count toward queued_bytes_ (capacity and byte accounting
+    // agree with actual wire bytes — same audit as core::mailbox).
+    const std::size_t before = buf.size();
     if (buf.empty()) {
       nonempty_.push_back(next_hop);
       if (world_->timed()) buf.resize(sizeof(double));  // arrival-time slot
     }
-    const std::size_t before = buf.size();
     packet_append(buf, rec.is_bcast, rec.addr,
                   {rec.payload->data(), rec.payload->size()});
     queued_bytes_ += buf.size() - before;
@@ -252,7 +250,7 @@ class hybrid_mailbox {
       sp.sample_into(telemetry::fast_histogram::exchange_us);
       in_exchange_ = true;
       flush();
-      poll_incoming();
+      drain_incoming();
       in_exchange_ = false;
       if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
     }
@@ -278,10 +276,18 @@ class hybrid_mailbox {
     buf = {};
   }
 
+  // Reentrant calls (a receive callback invoking poll()/test_empty()) are
+  // no-ops — see core::mailbox::poll_incoming for the recursion bug this
+  // guards against; the outer drain loop picks up anything that arrives.
   void poll_incoming() {
-    const bool outer = !in_exchange_;
-    if (outer) in_exchange_ = true;
+    if (in_exchange_) return;
+    in_exchange_ = true;
+    drain_incoming();
+    in_exchange_ = false;
+  }
 
+  // The raw drain loop; caller must already hold in_exchange_.
+  void drain_incoming() {
     // Shared-memory records first (they are the cheap path).
     for (auto& rec : inbox_->drain()) {
       ++stats_.hops_received;
@@ -323,8 +329,6 @@ class hybrid_mailbox {
       world_->virtual_charge_events(1);
       handle_record(std::move(rec));
     }
-
-    if (outer) in_exchange_ = false;
   }
 
   void handle_record(detail::shared_record&& rec) {

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -85,6 +86,16 @@ class mailbox {
     YGM_CHECK(dest >= 0 && dest < world_->size(), "send destination invalid");
     ++stats_.app_sends;
     if (dest == world_->rank()) {
+      if (world_->serialize_self_sends()) {
+        // Debug/chaos path: round-trip rank-local deliveries through ser::
+        // like any remote message, so asymmetric serialize() bugs surface
+        // in single-rank runs too. A local buffer, not scratch_ — the
+        // callback may itself send().
+        std::vector<std::byte> buf;
+        ser::append_bytes(m, buf);
+        deliver({buf.data(), buf.size()});
+        return;
+      }
       ++stats_.deliveries;
       on_recv_(m);
       return;
@@ -154,26 +165,13 @@ class mailbox {
   /// rank of the world must call it. Keeps draining and forwarding while
   /// waiting, so intermediaries stay live until everyone is done.
   void wait_empty() {
+    // Blocking loop over the SAME tree detector as test_empty(). The two
+    // must share one protocol: an earlier version ran its own blocking
+    // allreduce rounds here, which deadlocked whenever some ranks sat in
+    // wait_empty while others polled test_empty — the allreduce ranks
+    // blocked on a collective the polling ranks never entered.
     telemetry::span sp("mailbox.wait_empty");
-    std::uint64_t prev_sent = ~std::uint64_t{0};
-    std::uint64_t prev_recv = ~std::uint64_t{0};
-    for (;;) {
-      poll_incoming();
-      flush();
-      const auto totals = world_->mpi().allreduce(
-          std::pair<std::uint64_t, std::uint64_t>{stats_.hops_sent,
-                                                  stats_.hops_received},
-          [](const auto& a, const auto& b) {
-            return std::pair<std::uint64_t, std::uint64_t>{
-                a.first + b.first, a.second + b.second};
-          });
-      if (totals.first == totals.second && totals.first == prev_sent &&
-          totals.second == prev_recv) {
-        break;
-      }
-      prev_sent = totals.first;
-      prev_recv = totals.second;
-    }
+    while (!test_empty()) std::this_thread::yield();
     sp.arg("hops_sent", stats_.hops_sent);
     if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
   }
@@ -191,12 +189,15 @@ class mailbox {
     YGM_ASSERT(next_hop != world_->rank());
     world_->virtual_charge_events(1);
     auto& buf = buffers_[static_cast<std::size_t>(next_hop)];
+    // `before` is sampled ahead of the arrival-stamp reservation so the
+    // 8-byte stamp counts toward queued_bytes_: capacity triggering and the
+    // byte counters must agree with the bytes that actually hit the wire.
+    const std::size_t before = buf.size();
     if (buf.empty()) {
       nonempty_.push_back(next_hop);
       // Reserve the packet's arrival-time slot (virtual-time mode).
       if (world_->timed()) buf.resize(sizeof(double));
     }
-    const std::size_t before = buf.size();
     packet_append(buf, is_bcast, addr, payload);
     queued_bytes_ += buf.size() - before;
     ++record_counts_[static_cast<std::size_t>(next_hop)];
@@ -215,7 +216,7 @@ class mailbox {
       sp.sample_into(telemetry::fast_histogram::exchange_us);
       in_exchange_ = true;
       flush();
-      poll_incoming();
+      drain_incoming();
       in_exchange_ = false;
       if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
     }
@@ -248,15 +249,25 @@ class mailbox {
     buf = {};
   }
 
+  // Reentrant calls are no-ops: a receive callback that drives progress
+  // itself (poll()/test_empty() — the external-work-queue pattern) would
+  // otherwise re-enter the drain loop below once per queued packet,
+  // recursing unboundedly and clobbering fwd_scratch_ mid-forward. The
+  // outer drain picks up whatever arrives meanwhile.
   void poll_incoming() {
-    const bool outer = !in_exchange_;
-    if (outer) in_exchange_ = true;
+    if (in_exchange_) return;
+    in_exchange_ = true;
+    drain_incoming();
+    in_exchange_ = false;
+  }
+
+  // The raw drain loop; the caller must already hold in_exchange_.
+  void drain_incoming() {
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
       const auto packet = mpi.recv_bytes(st->source, data_tag_);
       handle_packet(packet);
     }
-    if (outer) in_exchange_ = false;
   }
 
   void handle_packet(const std::vector<std::byte>& packet) {

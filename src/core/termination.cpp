@@ -1,5 +1,6 @@
 #include "core/termination.hpp"
 
+#include <tuple>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -8,8 +9,23 @@
 namespace ygm::core {
 
 namespace {
-using counts = std::pair<std::uint64_t, std::uint64_t>;
-}
+// Wire formats carry the sender's round explicitly, in addition to the
+// round-windowed tag (tag_base_ + round_ % 4).
+//
+// Why both: in a clean run the %4 window alone is collision-free, because
+// per-edge lag is bounded at ONE round — a child cannot enter round k+1
+// before it received the round-k verdict, and a parent cannot finish round
+// k without every child's round-k contribution, so matching endpoints are
+// never more than one round apart. But that invariant is load-bearing and
+// entirely implicit: one duplicated, replayed, or forged message desyncs
+// the window permanently, after which counts that are exactly 4 rounds
+// stale get silently folded into every 4th verdict — quiescence can then
+// fire with messages still in flight. The explicit round stamp turns that
+// silent corruption into an immediate, attributable error.
+using contrib = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+// (quiescent flag, round)
+using verdict = std::pair<std::uint64_t, std::uint64_t>;
+}  // namespace
 
 termination_detector::termination_detector(comm_world& world, int tag_base)
     : world_(&world),
@@ -60,9 +76,12 @@ bool termination_detector::poll(std::uint64_t sent, std::uint64_t received) {
         // Children send on the round-specific tag; any child's message works.
         const auto st = mpi.iprobe(mpisim::any_source, contrib_tag());
         if (!st) return false;  // no progress possible without blocking
-        const auto c = mpi.recv<counts>(st->source, contrib_tag());
-        acc_sent_ += c.first;
-        acc_recv_ += c.second;
+        const auto c = mpi.recv<contrib>(st->source, contrib_tag());
+        YGM_CHECK(std::get<2>(c) == round_,
+                  "termination contribution from a different round (protocol "
+                  "desync: duplicated or stale detector message)");
+        acc_sent_ += std::get<0>(c);
+        acc_recv_ += std::get<1>(c);
         --children_pending_;
       }
       // Subtree complete: fold in our own sample, taken now (after the
@@ -75,22 +94,30 @@ bool termination_detector::poll(std::uint64_t sent, std::uint64_t received) {
         prev_sent_ = acc_sent_;
         prev_recv_ = acc_recv_;
         for (int i = 0; i < 2; ++i) {
-          if (child(i) < size_) mpi.send(q, child(i), verdict_tag());
+          if (child(i) < size_) {
+            mpi.send(verdict{q ? 1 : 0, round_}, child(i), verdict_tag());
+          }
         }
         apply_verdict(q);
         if (quiescent_) return true;
         continue;  // next round may already be able to progress
       }
-      mpi.send(counts{acc_sent_, acc_recv_}, parent(), contrib_tag());
+      mpi.send(contrib{acc_sent_, acc_recv_, round_}, parent(), contrib_tag());
       stage_ = stage::await_verdict;
     }
 
     if (stage_ == stage::await_verdict) {
       const auto st = mpi.iprobe(parent(), verdict_tag());
       if (!st) return false;
-      const bool q = mpi.recv<bool>(parent(), verdict_tag());
+      const auto v = mpi.recv<verdict>(parent(), verdict_tag());
+      YGM_CHECK(v.second == round_,
+                "termination verdict from a different round (protocol "
+                "desync: duplicated or stale detector message)");
+      const bool q = v.first != 0;
       for (int i = 0; i < 2; ++i) {
-        if (child(i) < size_) mpi.send(q, child(i), verdict_tag());
+        if (child(i) < size_) {
+          mpi.send(verdict{q ? 1 : 0, round_}, child(i), verdict_tag());
+        }
       }
       apply_verdict(q);
       if (quiescent_) return true;

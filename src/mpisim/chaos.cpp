@@ -1,0 +1,92 @@
+#include "mpisim/chaos.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ygm::mpisim {
+
+chaos_config chaos_config::light(std::uint64_t seed) {
+  chaos_config c;
+  c.seed = seed;
+  c.delay_prob = 0.25;
+  c.max_delay_ticks = 6;
+  c.iprobe_miss_prob = 0.10;
+  c.max_consecutive_misses = 8;
+  c.stall_prob = 0.01;
+  c.max_stall_us = 50;
+  return c;
+}
+
+chaos_config chaos_config::heavy(std::uint64_t seed) {
+  chaos_config c;
+  c.seed = seed;
+  c.delay_prob = 0.50;
+  c.max_delay_ticks = 16;
+  c.iprobe_miss_prob = 0.30;
+  c.max_consecutive_misses = 32;
+  c.stall_prob = 0.04;
+  c.max_stall_us = 100;
+  return c;
+}
+
+namespace {
+
+bool read_env_u64(const char* name, std::uint64_t& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  out = std::strtoull(v, nullptr, 0);
+  return true;
+}
+
+bool read_env_double(const char* name, double& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  out = std::strtod(v, nullptr);
+  return true;
+}
+
+}  // namespace
+
+std::optional<chaos_config> chaos_config::from_env() {
+  if (const char* preset = std::getenv("YGM_CHAOS");
+      preset != nullptr && *preset != '\0') {
+    const std::string s(preset);
+    const auto colon = s.find(':');
+    const std::string name = s.substr(0, colon);
+    const std::uint64_t seed =
+        colon == std::string::npos
+            ? 0
+            : std::strtoull(s.c_str() + colon + 1, nullptr, 0);
+    if (name == "heavy") return heavy(seed);
+    if (name == "light") return light(seed);
+    return std::nullopt;  // unknown preset name: treat as unset
+  }
+
+  chaos_config c;
+  bool any = read_env_u64("YGM_CHAOS_SEED", c.seed);
+  any |= read_env_double("YGM_CHAOS_DELAY_PROB", c.delay_prob);
+  std::uint64_t u = 0;
+  if (read_env_u64("YGM_CHAOS_MAX_DELAY_TICKS", u)) {
+    c.max_delay_ticks = static_cast<std::uint32_t>(u);
+    any = true;
+  }
+  any |= read_env_double("YGM_CHAOS_IPROBE_MISS_PROB", c.iprobe_miss_prob);
+  any |= read_env_double("YGM_CHAOS_STALL_PROB", c.stall_prob);
+  if (read_env_u64("YGM_CHAOS_MAX_STALL_US", u)) {
+    c.max_stall_us = static_cast<std::uint32_t>(u);
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return c;
+}
+
+std::string chaos_config::describe() const {
+  std::ostringstream oss;
+  oss << "seed=" << seed << " delay=" << delay_prob << "x" << max_delay_ticks
+      << " miss=" << iprobe_miss_prob << "/" << max_consecutive_misses
+      << " stall=" << stall_prob << "x" << max_stall_us << "us";
+  return oss.str();
+}
+
+}  // namespace ygm::mpisim

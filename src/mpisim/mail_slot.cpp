@@ -1,70 +1,177 @@
 #include "mpisim/mail_slot.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 
 namespace ygm::mpisim {
 
+namespace {
+
+/// Stateless decision hash: fold the fields through splitmix64 so every
+/// (seed, salt, fields...) tuple yields an independent 64-bit draw.
+template <class... Us>
+std::uint64_t chaos_mix(std::uint64_t seed, std::uint64_t salt, Us... fields) {
+  std::uint64_t h = splitmix64(seed ^ salt);
+  ((h = splitmix64(h ^ static_cast<std::uint64_t>(fields))), ...);
+  return h;
+}
+
+/// Map a 64-bit hash to [0, 1).
+double chaos_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Key identifying one sender stream for the non-overtaking clamp. Collisions
+/// only merge ordering constraints (more conservative, still MPI-legal).
+std::uint64_t stream_key(int src, std::uint64_t ctx) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) ^
+         splitmix64(ctx);
+}
+
+/// How long a blocked receiver waits per clock tick while a matching message
+/// is chaos-delayed. Small enough that delays mature quickly, large enough
+/// to avoid a hot spin.
+constexpr auto kDelayedWait = std::chrono::microseconds(50);
+
+}  // namespace
+
+void mail_slot::configure_chaos(const chaos_config& cfg, int owner_rank) {
+  std::lock_guard lock(mtx_);
+  YGM_CHECK(q_.empty(),
+            "chaos must be configured before any traffic reaches the slot");
+  chaos_ = cfg;
+  rank_ = owner_rank;
+}
+
+void mail_slot::maybe_stall() {
+  if (!chaos_.stalls_active()) return;
+  const std::uint64_t draw =
+      stall_draws_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = chaos_mix(chaos_.seed, 0x57A11u, rank_, draw);
+  if (chaos_unit(h) < chaos_.stall_prob) {
+    const std::uint64_t us =
+        1 + splitmix64(h) % static_cast<std::uint64_t>(chaos_.max_stall_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
 void mail_slot::deliver(envelope&& e) {
+  maybe_stall();
   {
     std::lock_guard lock(mtx_);
-    q_.push_back(std::move(e));
+    std::uint64_t visible_at = 0;
+    if (chaos_.delays_active()) {
+      auto& stream = streams_[stream_key(e.src, e.ctx)];
+      const std::uint64_t idx = stream.arrivals++;
+      const std::uint64_t h =
+          chaos_mix(chaos_.seed, 0xDE1A7u, rank_, e.src, e.ctx, idx);
+      if (chaos_unit(h) < chaos_.delay_prob) {
+        visible_at =
+            clock_ + 1 + splitmix64(h) % chaos_.max_delay_ticks;
+      }
+      // Non-overtaking: a message may not become visible before an earlier
+      // message of the same (source, context) stream.
+      visible_at = std::max(visible_at, stream.last_visible_at);
+      stream.last_visible_at = visible_at;
+    }
+    q_.push_back(queued{std::move(e), visible_at});
   }
   cv_.notify_all();
 }
 
-std::size_t mail_slot::find_match(int src, int tag, std::uint64_t ctx) const {
+mail_slot::match_result mail_slot::find_match_locked(
+    int src, int tag, std::uint64_t ctx) const {
+  bool delayed = false;
   for (std::size_t i = 0; i < q_.size(); ++i) {
-    if (matches(q_[i], src, tag, ctx)) return i;
+    if (!matches(q_[i].env, src, tag, ctx)) continue;
+    if (q_[i].visible_at <= clock_) return {i, delayed};
+    delayed = true;
   }
-  return npos;
+  return {npos, delayed};
 }
 
 envelope mail_slot::recv_match(int src, int tag, std::uint64_t ctx) {
+  maybe_stall();
   std::unique_lock lock(mtx_);
-  std::size_t i;
-  cv_.wait(lock, [&] {
-    if (aborted_) return true;
-    i = find_match(src, tag, ctx);
-    return i != npos;
-  });
-  YGM_CHECK(!aborted_, "mpisim world aborted while blocked in recv");
-  envelope e = std::move(q_[i]);
-  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
-  return e;
+  for (;;) {
+    YGM_CHECK(!aborted_, "mpisim world aborted while blocked in recv");
+    tick_locked();
+    const auto m = find_match_locked(src, tag, ctx);
+    if (m.index != npos) {
+      envelope e = std::move(q_[m.index].env);
+      q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(m.index));
+      return e;
+    }
+    // A delayed match matures with this rank's clock, which only advances
+    // here — wake up periodically to age it instead of waiting for a
+    // notify that may never come.
+    if (m.delayed_match) {
+      cv_.wait_for(lock, kDelayedWait);
+    } else {
+      cv_.wait(lock);
+    }
+  }
 }
 
 std::optional<envelope> mail_slot::try_recv_match(int src, int tag,
                                                   std::uint64_t ctx) {
   std::lock_guard lock(mtx_);
   YGM_CHECK(!aborted_, "mpisim world aborted");
-  const std::size_t i = find_match(src, tag, ctx);
-  if (i == npos) return std::nullopt;
-  envelope e = std::move(q_[i]);
-  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+  tick_locked();
+  const auto m = find_match_locked(src, tag, ctx);
+  if (m.index == npos) return std::nullopt;
+  envelope e = std::move(q_[m.index].env);
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(m.index));
   return e;
 }
 
-std::optional<status> mail_slot::iprobe(int src, int tag,
-                                        std::uint64_t ctx) const {
+std::optional<status> mail_slot::iprobe(int src, int tag, std::uint64_t ctx) {
+  maybe_stall();
   std::lock_guard lock(mtx_);
   YGM_CHECK(!aborted_, "mpisim world aborted");
-  const std::size_t i = find_match(src, tag, ctx);
-  if (i == npos) return std::nullopt;
-  const envelope& e = q_[i];
+  tick_locked();
+  const auto m = find_match_locked(src, tag, ctx);
+  if (m.index == npos) return std::nullopt;
+  if (chaos_.probe_misses_active() &&
+      misses_ < chaos_.max_consecutive_misses) {
+    // Draw on a counter of *eligible* probes (matchable message present),
+    // not on clock_: the clock also advances on blocking-recv wakeups,
+    // whose count is timing-dependent, and the miss pattern must be a pure
+    // function of the seed and the probe stream.
+    const std::uint64_t h =
+        chaos_mix(chaos_.seed, 0x1970BEu, rank_, probe_draws_++);
+    if (chaos_unit(h) < chaos_.iprobe_miss_prob) {
+      // MPI-legal weak progress: report no message although one is
+      // matchable. The consecutive-miss cap keeps repeated probing live.
+      ++misses_;
+      return std::nullopt;
+    }
+  }
+  misses_ = 0;
+  const envelope& e = q_[m.index].env;
   return status{e.src, e.tag, e.payload.size()};
 }
 
-status mail_slot::probe(int src, int tag, std::uint64_t ctx) const {
+status mail_slot::probe(int src, int tag, std::uint64_t ctx) {
+  maybe_stall();
   std::unique_lock lock(mtx_);
-  std::size_t i;
-  cv_.wait(lock, [&] {
-    if (aborted_) return true;
-    i = find_match(src, tag, ctx);
-    return i != npos;
-  });
-  YGM_CHECK(!aborted_, "mpisim world aborted while blocked in probe");
-  const envelope& e = q_[i];
-  return status{e.src, e.tag, e.payload.size()};
+  for (;;) {
+    YGM_CHECK(!aborted_, "mpisim world aborted while blocked in probe");
+    tick_locked();
+    const auto m = find_match_locked(src, tag, ctx);
+    if (m.index != npos) {
+      const envelope& e = q_[m.index].env;
+      return status{e.src, e.tag, e.payload.size()};
+    }
+    if (m.delayed_match) {
+      cv_.wait_for(lock, kDelayedWait);
+    } else {
+      cv_.wait(lock);
+    }
+  }
 }
 
 std::size_t mail_slot::pending() const {

@@ -13,10 +13,14 @@
 
 namespace ygm::mpisim {
 
-void run(int nranks, const std::function<void(comm&)>& fn) {
+namespace {
+
+void run_impl(int nranks, const chaos_config* chaos,
+              const std::function<void(comm&)>& fn) {
   YGM_CHECK(nranks > 0, "run() requires a positive rank count");
 
   world w(nranks);
+  if (chaos != nullptr && chaos->enabled()) w.set_chaos(*chaos);
 
   // With a telemetry session installed, every rank thread records onto its
   // own (world, rank) lane; the top-level "rank.main" span covers the whole
@@ -56,6 +60,23 @@ void run(int nranks, const std::function<void(comm&)>& fn) {
   for (auto& t : threads) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void run(int nranks, const std::function<void(comm&)>& fn) {
+  // Environment-driven chaos lets the whole existing suite be rerun under
+  // fault injection without touching a single call site.
+  if (const auto env_chaos = chaos_config::from_env()) {
+    run_impl(nranks, &*env_chaos, fn);
+    return;
+  }
+  run_impl(nranks, nullptr, fn);
+}
+
+void run(int nranks, const chaos_config& chaos,
+         const std::function<void(comm&)>& fn) {
+  run_impl(nranks, &chaos, fn);
 }
 
 }  // namespace ygm::mpisim

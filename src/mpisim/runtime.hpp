@@ -4,6 +4,7 @@
 
 #include <functional>
 
+#include "mpisim/chaos.hpp"
 #include "mpisim/comm.hpp"
 
 namespace ygm::mpisim {
@@ -14,6 +15,15 @@ namespace ygm::mpisim {
 /// If any rank throws, the world is aborted: ranks blocked in communication
 /// wake with ygm::error, all threads are joined, and the first rank's
 /// exception is rethrown here. This keeps failing tests from deadlocking.
+///
+/// If YGM_CHAOS* environment variables are set (docs/CHAOS.md), the
+/// corresponding fault injection is applied to the run — this is how the
+/// regular suite is rerun under chaos without code changes.
 void run(int nranks, const std::function<void(comm&)>& fn);
+
+/// As above, with explicit seeded fault injection installed on the world
+/// before any rank starts (overrides the environment).
+void run(int nranks, const chaos_config& chaos,
+         const std::function<void(comm&)>& fn);
 
 }  // namespace ygm::mpisim

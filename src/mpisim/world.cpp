@@ -15,6 +15,13 @@ world::world(int nranks) : next_ctx_(world_context + 2) {
   epoch_ = std::chrono::steady_clock::now();
 }
 
+void world::set_chaos(const chaos_config& cfg) {
+  chaos_ = cfg;
+  for (int r = 0; r < size(); ++r) {
+    slots_[static_cast<std::size_t>(r)]->configure_chaos(cfg, r);
+  }
+}
+
 mail_slot& world::slot(int world_rank) {
   YGM_ASSERT(world_rank >= 0 && world_rank < size());
   return *slots_[static_cast<std::size_t>(world_rank)];

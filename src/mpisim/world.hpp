@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "mpisim/chaos.hpp"
 #include "mpisim/mail_slot.hpp"
 
 namespace ygm::mpisim {
@@ -20,6 +21,13 @@ class world {
   int size() const noexcept { return static_cast<int>(slots_.size()); }
 
   mail_slot& slot(int world_rank);
+
+  /// Install seeded fault injection on every rank slot. Must run before any
+  /// traffic flows (runtime::run calls this before spawning rank threads).
+  void set_chaos(const chaos_config& cfg);
+
+  /// The chaos config in force (defaults to everything-off).
+  const chaos_config& chaos() const noexcept { return chaos_; }
 
   /// Allocate a fresh communicator context id. Only one rank (the split
   /// root) allocates per logical communicator, so ids agree across ranks.
@@ -43,6 +51,7 @@ class world {
 
  private:
   std::vector<std::unique_ptr<mail_slot>> slots_;
+  chaos_config chaos_{};
   std::atomic<std::uint64_t> next_ctx_;
   std::atomic<bool> aborted_{false};
   std::chrono::steady_clock::time_point epoch_;

@@ -238,3 +238,54 @@ TEST(Hybrid, TestEmptyDetectsQuiescence) {
 }
 
 }  // namespace
+
+// (appended) chaos-PR regression tests, mirroring test_mailbox.cpp: the
+// hybrid's remote buffers share core::mailbox's capacity accounting and
+// progress-reentrancy contract.
+
+TEST(Hybrid, TimedArrivalStampCountsTowardCapacity) {
+  // 2 nodes x 1 core: the single peer is remote, so the send takes the
+  // coalesced-packet path whose timed packets carry the 8-byte stamp.
+  sim::run(2, [](sim::comm& c) {
+    comm_world world(c, 1, scheme_kind::no_route);
+    world.attach_virtual_network(ygm::net::network_params::quartz_like());
+    const std::size_t one_record =
+        ygm::core::packet_record_size(1, sizeof(std::uint64_t));
+    hybrid_mailbox<std::uint64_t> mb(world, [](const std::uint64_t&) {},
+                                     sizeof(double) + one_record);
+    mb.send(1 - c.rank(), 99);
+    EXPECT_EQ(mb.stats().flushes, 1u);
+    mb.wait_empty();
+    EXPECT_EQ(mb.stats().deliveries, 1u);
+  });
+}
+
+TEST(Hybrid, ReentrantPollFromCallbackIsANoOp) {
+  sim::run(2, [](sim::comm& c) {
+    comm_world world(c, 1, scheme_kind::no_route);
+    hybrid_mailbox<std::uint64_t>* mbp = nullptr;
+    int depth = 0;
+    int max_depth = 0;
+    std::uint64_t got = 0;
+    hybrid_mailbox<std::uint64_t> mb(
+        world,
+        [&](const std::uint64_t& v) {
+          ++depth;
+          if (depth > max_depth) max_depth = depth;
+          got += v;
+          mbp->poll();
+          mbp->test_empty();
+          --depth;
+        },
+        64);
+    mbp = &mb;
+    if (c.rank() == 1) {
+      for (int i = 0; i < 100; ++i) mb.send(0, 1);
+    }
+    mb.wait_empty();
+    if (c.rank() == 0) {
+      EXPECT_EQ(got, 100u);
+      EXPECT_EQ(max_depth, 1);
+    }
+  });
+}

@@ -366,3 +366,59 @@ TEST(MailboxStress, SixtyFourRankWorldDeliversUnderAllSchemes) {
     });
   }
 }
+
+// (appended) chaos-PR regression tests: capacity accounting of the timed
+// arrival stamp, and reentrant progress calls from a receive callback.
+
+TEST(Mailbox, TimedArrivalStampCountsTowardCapacity) {
+  // In a timed world each wire packet starts with an 8-byte virtual-time
+  // arrival stamp. The stamp is part of what gets sent, so it must count
+  // toward queued_bytes_: with capacity equal to stamp + one record, a
+  // single send fills the buffer exactly and must trigger a flush.
+  sim::run(2, [](sim::comm& c) {
+    comm_world world(c, 2, scheme_kind::no_route);
+    world.attach_virtual_network(ygm::net::network_params::quartz_like());
+    const std::size_t one_record =
+        ygm::core::packet_record_size(1, sizeof(std::uint64_t));
+    mailbox<std::uint64_t> mb(world, [](const std::uint64_t&) {},
+                              sizeof(double) + one_record);
+    mb.send(1 - c.rank(), 99);
+    EXPECT_EQ(mb.stats().flushes, 1u);
+    mb.wait_empty();
+    EXPECT_EQ(mb.stats().deliveries, 1u);
+  });
+}
+
+TEST(Mailbox, ReentrantPollFromCallbackIsANoOp) {
+  // A receive callback that drives progress itself (poll / test_empty — the
+  // HavoqGT work-queue pattern) must not recursively re-enter the incoming
+  // drain: with many packets queued that recursion nests once per packet
+  // and clobbers the forwarding scratch buffer. Reentrant calls are no-ops.
+  sim::run(2, [](sim::comm& c) {
+    comm_world world(c, 1, scheme_kind::no_route);
+    mailbox<std::uint64_t>* mbp = nullptr;
+    int depth = 0;
+    int max_depth = 0;
+    std::uint64_t got = 0;
+    mailbox<std::uint64_t> mb(
+        world,
+        [&](const std::uint64_t& v) {
+          ++depth;
+          if (depth > max_depth) max_depth = depth;
+          got += v;
+          mbp->poll();
+          mbp->test_empty();
+          --depth;
+        },
+        64);
+    mbp = &mb;
+    if (c.rank() == 1) {
+      for (int i = 0; i < 100; ++i) mb.send(0, 1);
+    }
+    mb.wait_empty();
+    if (c.rank() == 0) {
+      EXPECT_EQ(got, 100u);
+      EXPECT_EQ(max_depth, 1);
+    }
+  });
+}

@@ -178,3 +178,60 @@ TEST(WaitEmpty, HandlesSlowRankWithHeavyInbound) {
 }
 
 }  // namespace
+
+// (appended) chaos-PR regression tests: round-stamped detector messages and
+// the shared wait_empty/test_empty protocol.
+
+#include <tuple>
+
+TEST(Termination, StaleContributionFromLaggedRoundIsRejected) {
+  using contrib = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+  sim::run(2, [](sim::comm& c) {
+    comm_world world(c, 1, scheme_kind::no_route);
+    const int tag_base =
+        world.reserve_tag_block(ygm::core::termination_detector::tags_used);
+    ygm::core::termination_detector td(world, tag_base);
+    if (c.rank() == 1) {
+      // Forge a duplicate round-0 contribution ahead of the real protocol.
+      // The root consumes it as rank 1's round-0 message; the genuine one
+      // then sits queued until the %4 tag window wraps at round 4, where —
+      // without the round stamp — its 4-round-stale counts would silently
+      // fold into round 4's totals.
+      c.send(contrib{7, 7, 0}, 0, tag_base + 0);
+    }
+    c.barrier();
+    auto drive = [&] {
+      for (int i = 0; i < 20000 && td.rounds() < 8; ++i) {
+        td.poll(1, 1);
+        std::this_thread::yield();
+      }
+    };
+    if (c.rank() == 0) {
+      EXPECT_THROW(drive(), ygm::error);
+      EXPECT_EQ(td.rounds(), 4u);  // detected exactly at the window wrap
+    } else {
+      drive();  // bounded and nonblocking; exits once the root stops
+    }
+    c.barrier();
+  });
+}
+
+TEST(WaitEmpty, MixesWithTestEmptyAcrossRanks) {
+  // wait_empty() must ride the same tree-detector protocol as test_empty():
+  // if it used its own blocking collective, a world where some ranks block
+  // in wait_empty while others poll test_empty would deadlock.
+  const topology topo(2, 2);
+  sim::run(topo.num_ranks(), [&](sim::comm& c) {
+    comm_world world(c, topo, scheme_kind::nlnr);
+    std::uint64_t got = 0;
+    mailbox<std::uint64_t> mb(world, [&](const std::uint64_t& v) { got += v; },
+                              64);
+    for (int d = 0; d < c.size(); ++d) mb.send(d, 1);
+    if (c.rank() % 2 == 0) {
+      mb.wait_empty();
+    } else {
+      while (!mb.test_empty()) std::this_thread::yield();
+    }
+    EXPECT_EQ(got, static_cast<std::uint64_t>(c.size()));
+  });
+}

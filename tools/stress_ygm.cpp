@@ -1,0 +1,263 @@
+// stress_ygm: chaos-sweep driver for the YGM runtime (docs/CHAOS.md).
+//
+// Runs the delivery-invariant trial harness (core/invariants.hpp) over a
+// grid of seeds x routing schemes x mailbox implementations x timed mode x
+// chaos presets, with machine shape and capacity rotating per seed. Any
+// invariant violation prints the complete reproduction recipe and makes the
+// process exit nonzero — rerunning with the printed flags replays the exact
+// fault pattern.
+//
+//   stress_ygm --seeds 64                            # the default full sweep
+//   stress_ygm --seeds 1 --seed-base 19 --schemes nlnr --mailboxes hybrid
+//              --timed on --chaos heavy              # replay one recipe
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hybrid_mailbox.hpp"
+#include "core/invariants.hpp"
+#include "core/mailbox.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace {
+
+namespace sim = ygm::mpisim;
+using sim::chaos_config;
+using ygm::core::run_chaos_trial;
+using ygm::core::trial_config;
+using ygm::routing::scheme_kind;
+
+struct options {
+  std::uint64_t seeds = 64;
+  std::uint64_t seed_base = 0;
+  std::vector<scheme_kind> schemes{std::begin(ygm::routing::all_schemes),
+                                   std::end(ygm::routing::all_schemes)};
+  std::vector<bool> hybrids{false, true};
+  std::vector<bool> timed_modes{false, true};
+  std::vector<std::string> presets{"light", "heavy"};
+  std::vector<std::pair<int, int>> topos{{2, 2}, {1, 4}, {4, 2}, {2, 3}};
+  std::vector<std::size_t> capacities{1, 24, 96, 65536};
+  int msgs = 40;
+  int bcasts = 3;
+  int epochs = 2;
+  // Optional knob overrides (negative = use preset value).
+  double delay_prob = -1, miss_prob = -1, stall_prob = -1;
+  long delay_ticks = -1, stall_us = -1;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: stress_ygm [options]\n"
+      "  --seeds N            seeds per grid cell (default 64)\n"
+      "  --seed-base B        first seed (default 0)\n"
+      "  --schemes a,b,..     NoRoute|NodeLocal|NodeRemote|NLNR,\n"
+      "                       case-insensitive (default all four)\n"
+      "  --mailboxes M        mailbox|hybrid|both (default both)\n"
+      "  --timed M            on|off|both (default both)\n"
+      "  --chaos M            light|heavy|both (default both)\n"
+      "  --topos NxC,..       machine shapes rotated per seed\n"
+      "  --capacities a,b,..  mailbox capacities rotated per seed\n"
+      "  --msgs N             p2p messages per rank per epoch (default 40)\n"
+      "  --bcasts N           broadcasts per rank per epoch (default 3)\n"
+      "  --epochs N           communication epochs per trial (default 2)\n"
+      "  --delay-prob P --max-delay-ticks T --iprobe-miss-prob P\n"
+      "  --stall-prob P --max-stall-us U\n"
+      "                       override individual chaos knobs\n");
+  std::exit(code);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+scheme_kind parse_scheme(const std::string& s) {
+  auto lower = [](std::string v) {
+    for (auto& ch : v) ch = static_cast<char>(std::tolower(ch));
+    return v;
+  };
+  for (auto k : ygm::routing::all_schemes) {
+    if (lower(s) == lower(std::string(ygm::routing::to_string(k)))) return k;
+  }
+  std::fprintf(stderr, "stress_ygm: unknown scheme '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+std::vector<bool> parse_on_off_both(const std::string& s, const char* flag) {
+  if (s == "on") return {true};
+  if (s == "off") return {false};
+  if (s == "both") return {false, true};
+  std::fprintf(stderr, "stress_ygm: %s must be on|off|both, got '%s'\n", flag,
+               s.c_str());
+  std::exit(2);
+}
+
+options parse(int argc, char** argv) {
+  options o;
+  auto need = [&](int i) -> std::string {
+    if (i + 1 >= argc) usage(2);
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-h" || a == "--help") usage(0);
+    else if (a == "--seeds") o.seeds = std::strtoull(need(i++).c_str(), nullptr, 10);
+    else if (a == "--seed-base") o.seed_base = std::strtoull(need(i++).c_str(), nullptr, 10);
+    else if (a == "--msgs") o.msgs = std::atoi(need(i++).c_str());
+    else if (a == "--bcasts") o.bcasts = std::atoi(need(i++).c_str());
+    else if (a == "--epochs") o.epochs = std::atoi(need(i++).c_str());
+    else if (a == "--schemes") {
+      o.schemes.clear();
+      for (const auto& s : split_list(need(i++))) o.schemes.push_back(parse_scheme(s));
+    } else if (a == "--mailboxes") {
+      const auto v = need(i++);
+      if (v == "mailbox") o.hybrids = {false};
+      else if (v == "hybrid") o.hybrids = {true};
+      else if (v == "both") o.hybrids = {false, true};
+      else usage(2);
+    } else if (a == "--timed") {
+      o.timed_modes = parse_on_off_both(need(i++), "--timed");
+    } else if (a == "--chaos") {
+      const auto v = need(i++);
+      if (v == "light" || v == "heavy") o.presets = {v};
+      else if (v == "both") o.presets = {"light", "heavy"};
+      else usage(2);
+    } else if (a == "--topos") {
+      o.topos.clear();
+      for (const auto& s : split_list(need(i++))) {
+        const auto x = s.find('x');
+        if (x == std::string::npos) usage(2);
+        o.topos.emplace_back(std::atoi(s.substr(0, x).c_str()),
+                             std::atoi(s.substr(x + 1).c_str()));
+      }
+    } else if (a == "--capacities") {
+      o.capacities.clear();
+      for (const auto& s : split_list(need(i++))) {
+        o.capacities.push_back(std::strtoull(s.c_str(), nullptr, 10));
+      }
+    }
+    else if (a == "--delay-prob") o.delay_prob = std::atof(need(i++).c_str());
+    else if (a == "--max-delay-ticks") o.delay_ticks = std::atol(need(i++).c_str());
+    else if (a == "--iprobe-miss-prob") o.miss_prob = std::atof(need(i++).c_str());
+    else if (a == "--stall-prob") o.stall_prob = std::atof(need(i++).c_str());
+    else if (a == "--max-stall-us") o.stall_us = std::atol(need(i++).c_str());
+    else {
+      std::fprintf(stderr, "stress_ygm: unknown option '%s'\n", a.c_str());
+      usage(2);
+    }
+  }
+  if (o.schemes.empty() || o.topos.empty() || o.capacities.empty()) usage(2);
+  return o;
+}
+
+chaos_config make_chaos(const options& o, const std::string& preset,
+                        std::uint64_t seed) {
+  chaos_config cfg = preset == "heavy" ? chaos_config::heavy(seed)
+                                       : chaos_config::light(seed);
+  if (o.delay_prob >= 0) cfg.delay_prob = o.delay_prob;
+  if (o.delay_ticks >= 0) cfg.max_delay_ticks = static_cast<std::uint32_t>(o.delay_ticks);
+  if (o.miss_prob >= 0) cfg.iprobe_miss_prob = o.miss_prob;
+  if (o.stall_prob >= 0) cfg.stall_prob = o.stall_prob;
+  if (o.stall_us >= 0) cfg.max_stall_us = static_cast<std::uint32_t>(o.stall_us);
+  return cfg;
+}
+
+template <template <class> class MailboxT>
+std::vector<std::string> run_one(const trial_config& t) {
+  std::vector<std::string> all;
+  sim::run(t.num_ranks(), t.chaos, [&](sim::comm& c) {
+    const auto local = run_chaos_trial<MailboxT>(c, t);
+    const auto gathered = c.gather(local, 0);
+    if (c.rank() == 0) {
+      for (const auto& per_rank : gathered) {
+        all.insert(all.end(), per_rank.begin(), per_rank.end());
+      }
+    }
+  });
+  return all;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const options o = parse(argc, argv);
+
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;
+  for (auto scheme : o.schemes) {
+    for (const bool hybrid : o.hybrids) {
+      for (const bool timed : o.timed_modes) {
+        for (const auto& preset : o.presets) {
+          for (std::uint64_t s = 0; s < o.seeds; ++s) {
+            const std::uint64_t seed = o.seed_base + s;
+            trial_config t;
+            t.seed = seed;
+            t.scheme = scheme;
+            const auto [n, c] = o.topos[seed % o.topos.size()];
+            t.nodes = n;
+            t.cores = c;
+            t.capacity = o.capacities[seed % o.capacities.size()];
+            t.timed = timed;
+            t.serialize_self_sends = (seed % 4) == 2;
+            t.msgs_per_rank = o.msgs;
+            t.bcasts_per_rank = o.bcasts;
+            t.epochs = o.epochs;
+            t.chaos = make_chaos(o, preset, seed);
+
+            ++trials;
+            std::vector<std::string> violations;
+            try {
+              violations = hybrid ? run_one<ygm::core::hybrid_mailbox>(t)
+                                  : run_one<ygm::core::mailbox>(t);
+            } catch (const std::exception& e) {
+              violations.push_back(std::string("exception: ") + e.what());
+            }
+            if (!violations.empty()) {
+              ++failures;
+              const std::string scheme_name(
+                  ygm::routing::to_string(t.scheme));
+              std::fprintf(stderr,
+                           "FAIL mailbox=%s chaos=%s %s\n"
+                           "     replay: stress_ygm --seeds 1 --seed-base %llu"
+                           " --schemes %s --mailboxes %s --timed %s --chaos"
+                           " %s --msgs %d --bcasts %d --epochs %d\n",
+                           hybrid ? "hybrid" : "mailbox", preset.c_str(),
+                           t.describe().c_str(),
+                           static_cast<unsigned long long>(seed),
+                           scheme_name.c_str(),
+                           hybrid ? "hybrid" : "mailbox",
+                           timed ? "on" : "off", preset.c_str(), o.msgs,
+                           o.bcasts, o.epochs);
+              for (const auto& v : violations) {
+                std::fprintf(stderr, "     %s\n", v.c_str());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("stress_ygm: %llu trials, %llu failed\n",
+              static_cast<unsigned long long>(trials),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
