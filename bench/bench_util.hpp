@@ -15,11 +15,13 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/evaluator.hpp"
 #include "net/params.hpp"
 #include "routing/router.hpp"
+#include "telemetry/causal.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ygm::bench {
@@ -71,27 +73,86 @@ inline std::string flag_str(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+/// Double-valued flag, accepted as "--name value" or "--name=value".
+inline double flag_double(int argc, char** argv, const std::string& name,
+                          double fallback) {
+  const std::string s = flag_str(argc, argv, name);
+  return s.empty() ? fallback : std::stod(s);
+}
+
 // ------------------------------------------------------------- telemetry
+
+/// Catch telemetry-flag typos: any argument spelled like one of our
+/// namespaced flag families (`--trace-*`, `--telemetry-*`) that is not a
+/// flag we actually parse is a hard usage error. These flags silently
+/// change what gets recorded; a typo like `--trace-sampel=1` must not
+/// silently run untraced.
+inline void check_telemetry_flags(int argc, char** argv) {
+  static constexpr std::string_view known[] = {
+      "--trace-out", "--trace-sample", "--telemetry-summary"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace-", 0) != 0 && arg.rfind("--telemetry-", 0) != 0) {
+      continue;
+    }
+    const std::string_view name = arg.substr(0, arg.find('='));
+    bool ok = false;
+    for (const auto k : known) ok = ok || name == k;
+    if (ok) continue;
+    std::fprintf(stderr,
+                 "error: unknown telemetry flag '%s'\n"
+                 "known flags: --trace-out=<file> --trace-sample=<rate> "
+                 "--telemetry-summary\n"
+                 "             --metrics-out=<file> --postmortem-out=<file> "
+                 "--stall-timeout-ms=<ms>\n",
+                 std::string(name).c_str());
+    std::exit(2);
+  }
+}
 
 /// Per-bench telemetry driver. Construct first thing in main(); when any of
 ///   --trace-out=<file>.json     Chrome trace_event JSON (chrome://tracing
 ///                               or https://ui.perfetto.dev)
 ///   --metrics-out=<file>.json   merged counters/gauges/histograms
 ///   --telemetry-summary         end-of-run text summary table
+///   --trace-sample=<rate>       causal-tracing sample rate in [0, 1]
+///   --postmortem-out=<file>     stall-watchdog flight-recorder destination
+///                               (arms a 10 s watchdog if none configured)
+///   --stall-timeout-ms=<ms>     stall-watchdog window (0 disables)
 ///   YGM_TELEMETRY=1             environment fallback (implies summary)
 /// is present, a telemetry session is installed globally, every mpisim::run
 /// in the bench records per-rank lanes, and the destructor writes the
 /// requested outputs. With none present no session exists and the
-/// instrumentation costs one thread-local load + branch per hook.
+/// instrumentation costs one thread-local load + branch per hook. Unknown
+/// `--trace-*`/`--telemetry-*` flags are rejected with exit code 2.
 class telemetry_guard {
  public:
   telemetry_guard(int argc, char** argv)
       : trace_out_(flag_str(argc, argv, "trace-out")),
         metrics_out_(flag_str(argc, argv, "metrics-out")),
         summary_(has_flag(argc, argv, "telemetry-summary")) {
+    check_telemetry_flags(argc, argv);
+    const double sample = flag_double(argc, argv, "trace-sample", -1);
+    const std::string postmortem = flag_str(argc, argv, "postmortem-out");
+    const double stall_ms = flag_double(argc, argv, "stall-timeout-ms", -1);
+    if (sample >= 0) telemetry::causal::set_sample_rate(sample);
+    if (!postmortem.empty()) {
+      telemetry::causal::set_postmortem_path(postmortem);
+    }
+    if (stall_ms >= 0) telemetry::causal::set_stall_timeout_ms(stall_ms);
+    if (!postmortem.empty() && telemetry::causal::stall_timeout_ms() <= 0) {
+      telemetry::causal::set_stall_timeout_ms(10000);
+    }
     const char* env = std::getenv("YGM_TELEMETRY");
     if (env != nullptr && env[0] != '\0' && env[0] != '0') summary_ = true;
-    if (trace_out_.empty() && metrics_out_.empty() && !summary_) return;
+    // Causal tracing and the watchdog both need per-rank lanes, so either
+    // knob forces a session even without an export destination.
+    const bool lanes_needed = sample > 0 || !postmortem.empty() ||
+                              telemetry::causal::stall_timeout_ms() > 0;
+    if (trace_out_.empty() && metrics_out_.empty() && !summary_ &&
+        !lanes_needed) {
+      return;
+    }
     session_ = std::make_unique<telemetry::session>();
     telemetry::set_global(session_.get());
   }

@@ -12,6 +12,8 @@
 
 #include "bench_util.hpp"
 #include "common/units.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
 #include "mpisim/runtime.hpp"
 
 namespace {
@@ -94,6 +96,51 @@ void executed_pingpong() {
   t.print();
 }
 
+// All-to-all through a real NLNR mailbox on a 2-node x 2-core shape. The
+// bandwidth numbers come from the ping-pong above; this section exists so a
+// --trace-sample run emits multi-leg causal journeys that tools/ygm_trace
+// can stitch and cross-check (the CI smoke pipes this bench's trace through
+// `ygm_trace --selfcheck`).
+void executed_mailbox_all_to_all() {
+  bench::banner("Fig. 5 [executed] NLNR mailbox all-to-all, 2 nodes x 2 "
+                "cores",
+                "Coalesced multi-hop traffic; pair with --trace-sample=1.0 "
+                "and ygm_trace for the per-hop breakdown.");
+  const routing::topology topo(2, 2);
+  constexpr int msgs_per_pair = 100;
+  bench::table t({"msgs sent", "delivered", "wall (s)"});
+  std::uint64_t sent = 0, delivered = 0;
+  double wall = 0;
+  mpisim::run(topo.num_ranks(), [&](mpisim::comm& c) {
+    core::comm_world world(c, topo, routing::scheme_kind::nlnr);
+    std::uint64_t local_recv = 0;
+    core::mailbox<std::uint64_t> mb(
+        world, [&](const std::uint64_t&) { ++local_recv; }, 4096);
+    c.barrier();
+    const double t0 = c.wtime();
+    std::uint64_t local_sent = 0;
+    for (int i = 0; i < msgs_per_pair; ++i) {
+      for (int d = 0; d < c.size(); ++d) {
+        if (d == c.rank()) continue;
+        mb.send(d, static_cast<std::uint64_t>(i));
+        ++local_sent;
+      }
+    }
+    mb.wait_empty();
+    const double dt = c.allreduce(c.wtime() - t0, mpisim::op_max{});
+    const auto s = c.allreduce(local_sent, mpisim::op_sum{});
+    const auto r = c.allreduce(local_recv, mpisim::op_sum{});
+    if (c.rank() == 0) {
+      sent = s;
+      delivered = r;
+      wall = dt;
+    }
+  });
+  t.add_row({std::to_string(sent), std::to_string(delivered),
+             bench::fmt(wall)});
+  t.print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,5 +151,6 @@ int main(int argc, char** argv) {
               "(paper: MVAPICH 2.3 / Omni-Path on Quartz)\n");
   model_curve();
   executed_pingpong();
+  executed_mailbox_all_to_all();
   return 0;
 }

@@ -1,0 +1,214 @@
+// A deliberately small recursive-descent JSON parser — enough to read back
+// the telemetry exporters' output (Chrome traces, metrics JSON, postmortem
+// dumps) in tests and in the tools/ygm_trace offline analyzer, without a
+// third-party dependency. Throws std::runtime_error on malformed input.
+//
+// Numbers are doubles (like JavaScript); integer identifiers that must
+// survive a round trip through this parser have to stay below 2^53, which
+// the telemetry side guarantees (48-bit journey ids, packed args < 2^48).
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ygm::common {
+
+struct json_value;
+using json_object = std::map<std::string, json_value>;
+using json_array = std::vector<json_value>;
+
+struct json_value {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<json_array>, std::shared_ptr<json_object>>
+      v = nullptr;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<json_object>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<json_array>>(v);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  const json_object& obj() const {
+    return *std::get<std::shared_ptr<json_object>>(v);
+  }
+  const json_array& arr() const {
+    return *std::get<std::shared_ptr<json_array>>(v);
+  }
+  double num() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class json_parser {
+ public:
+  explicit json_parser(std::string_view s) : s_(s) {}
+
+  json_value parse() {
+    json_value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json error at byte " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  json_value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return {std::string(string())};
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return {true};
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return {false};
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return {nullptr};
+      default:
+        return {number()};
+    }
+  }
+
+  json_value object() {
+    expect('{');
+    auto out = std::make_shared<json_object>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return {out};
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      (*out)[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return {out};
+    }
+  }
+
+  json_value array() {
+    expect('[');
+    auto out = std::make_shared<json_array>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return {out};
+    }
+    for (;;) {
+      out->push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return {out};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            out += e;
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            out += '?';  // code-point fidelity not needed by our consumers
+            pos_ += 4;
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::stod(std::string(s_.substr(start, pos_ - start)));
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ygm::common

@@ -1,6 +1,7 @@
 #include "core/comm_world.hpp"
 
 #include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ygm::core {
 
@@ -24,6 +25,16 @@ comm_world::comm_world(mpisim::comm& c, routing::topology topo,
     : comm_(&c), router_(scheme, topo), next_tag_(kTagBlockBase) {
   YGM_CHECK(topo.num_ranks() == c.size(),
             "topology does not cover the communicator");
+  // Stamp the world's shape and routing scheme onto rank 0's timeline, so
+  // offline analyzers (tools/ygm_trace) can reconstruct expected hop counts
+  // from the trace file alone.
+  if (c.rank() == 0 && telemetry::tls() != nullptr) {
+    telemetry::instant_marker cfg("world.config", "nodes", "cores");
+    cfg.record(static_cast<std::uint64_t>(topo.nodes),
+               static_cast<std::uint64_t>(topo.cores));
+    telemetry::instant("world.scheme", "scheme",
+                       static_cast<std::uint64_t>(scheme));
+  }
 }
 
 comm_world::comm_world(mpisim::comm& c, int cores_per_node,

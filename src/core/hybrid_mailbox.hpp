@@ -37,6 +37,7 @@
 #include "core/stats.hpp"
 #include "core/termination.hpp"
 #include "ser/serialize.hpp"
+#include "telemetry/causal.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ygm::core {
@@ -50,6 +51,11 @@ struct shared_record {
   int addr = -1;
   bool is_bcast = false;
   double arrival_vtime = 0;  ///< virtual-time arrival stamp (timed worlds)
+  // Causal tracing: sampled records carry their context through the shared
+  // handoff the same way the annotation record carries it over the wire.
+  bool traced = false;
+  telemetry::causal::wire_ctx tctx{};
+  double trace_push_us = 0;  ///< inbox push time (handoff residency start)
 };
 
 /// A rank's node-local inbox (multi-producer, single-consumer).
@@ -87,9 +93,12 @@ class hybrid_mailbox {
         term_(world, data_tag_ + 2),
         inbox_(std::make_unique<detail::shared_inbox>()),
         buffers_(static_cast<std::size_t>(world.size())),
-        record_counts_(static_cast<std::size_t>(world.size()), 0) {
+        record_counts_(static_cast<std::size_t>(world.size()), 0),
+        pending_traces_(static_cast<std::size_t>(world.size())) {
     YGM_CHECK(capacity_ > 0, "mailbox capacity must be positive");
     YGM_CHECK(on_recv_ != nullptr, "mailbox requires a receive callback");
+    YGM_CHECK(world.size() < packet_trace_escape,
+              "world size collides with the reserved trace-annotation rank");
     // Collective setup: publish every rank's inbox address. Node-local
     // ranks are threads of this process, so the pointers are usable —
     // exactly the shared address space the hybrid design assumes.
@@ -141,8 +150,12 @@ class hybrid_mailbox {
     }
     auto payload = std::make_shared<std::vector<std::byte>>();
     ser::append_bytes(m, *payload);
-    forward(world_->route().next_hop(world_->rank(), dest),
-            detail::shared_record{std::move(payload), dest, false});
+    detail::shared_record rec{std::move(payload), dest, false};
+    // Same deterministic sampling as core::mailbox (self-sends excluded).
+    rec.traced = telemetry::causal::try_begin(
+        world_->rank(), trace_seq_++, static_cast<std::uint32_t>(data_tag_),
+        rec.tctx);
+    forward(world_->route().next_hop(world_->rank(), dest), std::move(rec));
     maybe_exchange();
   }
 
@@ -194,7 +207,12 @@ class hybrid_mailbox {
   /// deadlocked).
   void wait_empty() {
     telemetry::span sp("mailbox.wait_empty");
-    while (!test_empty()) std::this_thread::yield();
+    telemetry::causal::stall_watchdog wd;
+    while (!test_empty()) {
+      wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
+               queued_bytes_});
+      std::this_thread::yield();
+    }
     sp.arg("hops_sent", stats_.hops_sent);
     if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
   }
@@ -218,6 +236,12 @@ class hybrid_mailbox {
       stats_.local_bytes += rec.payload->size();
       telemetry::sample(telemetry::fast_histogram::local_packet_bytes,
                         static_cast<double>(rec.payload->size()));
+      if (rec.traced) {
+        telemetry::causal::record_hop(rec.tctx,
+                                      telemetry::causal::hop_kind::enqueue, -1,
+                                      rec.payload->size());
+        rec.trace_push_us = telemetry::now_us();
+      }
       if (world_->timed()) {
         // A zero-copy handoff still crosses shared memory once.
         rec.arrival_vtime =
@@ -235,6 +259,21 @@ class hybrid_mailbox {
     if (buf.empty()) {
       nonempty_.push_back(next_hop);
       if (world_->timed()) buf.resize(sizeof(double));  // arrival-time slot
+    }
+    if (rec.traced) {
+      // Annotation record ahead of the message, exactly like core::mailbox
+      // (counted in wire bytes, excluded from hop counts).
+      telemetry::causal::record_hop(rec.tctx,
+                                    telemetry::causal::hop_kind::enqueue, -1,
+                                    rec.payload->size());
+      trace_scratch_.clear();
+      telemetry::causal::encode_wire(rec.tctx, trace_scratch_);
+      packet_append(buf, /*is_bcast=*/false, packet_trace_escape,
+                    trace_scratch_);
+      telemetry::count("trace.annotated_records");
+      pending_traces_[static_cast<std::size_t>(next_hop)].push_back(
+          {rec.tctx, telemetry::now_us(),
+           static_cast<std::uint32_t>(rec.payload->size())});
     }
     packet_append(buf, rec.is_bcast, rec.addr,
                   {rec.payload->data(), rec.payload->size()});
@@ -267,6 +306,15 @@ class hybrid_mailbox {
     // Hop counting happened at forward() time for the hybrid (local and
     // remote alike), so flushing only ships bytes.
     record_counts_[static_cast<std::size_t>(nh)] = 0;
+    auto& pend = pending_traces_[static_cast<std::size_t>(nh)];
+    if (!pend.empty()) {
+      for (const auto& p : pend) {
+        telemetry::causal::record_hop(
+            p.ctx, telemetry::causal::hop_kind::flush, p.enqueue_us,
+            buf.size());
+      }
+      pend.clear();
+    }
     if (world_->timed()) {
       const double arrival =
           world_->virtual_charge_packet(buf.size(), /*remote=*/true);
@@ -286,15 +334,28 @@ class hybrid_mailbox {
     in_exchange_ = false;
   }
 
-  // The raw drain loop; caller must already hold in_exchange_.
-  void drain_incoming() {
-    // Shared-memory records first (they are the cheap path).
+  // Consume everything currently in the shared inbox. A handoff pop
+  // completes a network leg for a sampled record: bump its hop index and
+  // record the inbox residency (push to drain) as the handoff hop.
+  void drain_inbox() {
     for (auto& rec : inbox_->drain()) {
       ++stats_.hops_received;
       world_->virtual_advance_to(rec.arrival_vtime);
       world_->virtual_charge_events(1);
+      if (rec.traced) {
+        ++rec.tctx.hop;
+        telemetry::causal::record_hop(rec.tctx,
+                                      telemetry::causal::hop_kind::handoff,
+                                      rec.trace_push_us, rec.payload->size());
+      }
       handle_record(std::move(rec));
     }
+  }
+
+  // The raw drain loop; caller must already hold in_exchange_.
+  void drain_incoming() {
+    // Shared-memory records first (they are the cheap path).
+    drain_inbox();
 
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
@@ -308,27 +369,36 @@ class hybrid_mailbox {
         body = body.subspan(sizeof(double));
       }
       packet_reader reader(body);
+      telemetry::causal::wire_ctx tctx;
+      bool have_trace = false;
       while (!reader.done()) {
         const packet_record rec = reader.next();
+        if (packet_record_is_trace(rec)) {
+          tctx = telemetry::causal::decode_wire(rec.payload);
+          ++tctx.hop;  // arrival completed a wire leg
+          have_trace = true;
+          continue;  // metadata, not a message hop
+        }
         ++stats_.hops_received;
         world_->virtual_charge_events(1);
         // Rewrap into a shared record (one copy — the unavoidable
         // deserialization of wire bytes).
         auto payload = std::make_shared<std::vector<std::byte>>(
             rec.payload.begin(), rec.payload.end());
-        handle_record(detail::shared_record{std::move(payload), rec.addr,
-                                            rec.is_bcast, 0.0});
+        detail::shared_record srec{std::move(payload), rec.addr, rec.is_bcast,
+                                   0.0};
+        if (have_trace && !rec.is_bcast) {
+          srec.traced = true;
+          srec.tctx = tctx;
+        }
+        have_trace = false;
+        handle_record(std::move(srec));
       }
       // A remote packet may have arrived while we were draining; loop picks
       // it up. Shared records that arrived meanwhile are caught by the next
       // poll (or the termination rounds).
     }
-    for (auto& rec : inbox_->drain()) {
-      ++stats_.hops_received;
-      world_->virtual_advance_to(rec.arrival_vtime);
-      world_->virtual_charge_events(1);
-      handle_record(std::move(rec));
-    }
+    drain_inbox();
   }
 
   void handle_record(detail::shared_record&& rec) {
@@ -343,12 +413,22 @@ class hybrid_mailbox {
         forward(nh, detail::shared_record{rec.payload, rec.addr, true});
       }
     } else if (rec.addr == me) {
+      if (rec.traced) {
+        telemetry::causal::record_hop(rec.tctx,
+                                      telemetry::causal::hop_kind::deliver, -1,
+                                      rec.payload->size());
+      }
       deliver(*rec.payload);
     } else {
       ++stats_.forwards;
       const int nh = world_->route().next_hop(me, rec.addr);
       fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
                          static_cast<std::uint64_t>(nh));
+      if (rec.traced) {
+        telemetry::causal::record_hop(rec.tctx,
+                                      telemetry::causal::hop_kind::forward, -1,
+                                      rec.payload->size());
+      }
       forward(nh, std::move(rec));
     }
   }
@@ -379,6 +459,16 @@ class hybrid_mailbox {
   std::uint64_t shared_handoffs_ = 0;
 
   mailbox_stats stats_;
+
+  // Causal tracing (remote legs only — local legs ride shared_record).
+  struct pending_trace {
+    telemetry::causal::wire_ctx ctx;
+    double enqueue_us = 0;
+    std::uint32_t payload_bytes = 0;
+  };
+  std::vector<std::vector<pending_trace>> pending_traces_;
+  std::vector<std::byte> trace_scratch_;  // encoded annotation payloads
+  std::uint32_t trace_seq_ = 0;
 
   // Timeline event per intermediary re-queue: arg0 = destination (or bcast
   // origin), arg1 = chosen next hop.

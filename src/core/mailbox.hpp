@@ -40,6 +40,7 @@
 #include "core/stats.hpp"
 #include "core/termination.hpp"
 #include "ser/serialize.hpp"
+#include "telemetry/causal.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ygm::core {
@@ -64,9 +65,12 @@ class mailbox {
         data_tag_(world.reserve_tag_block(1 + termination_detector::tags_used)),
         term_(world, data_tag_ + 1),
         buffers_(static_cast<std::size_t>(world.size())),
-        record_counts_(static_cast<std::size_t>(world.size()), 0) {
+        record_counts_(static_cast<std::size_t>(world.size()), 0),
+        pending_traces_(static_cast<std::size_t>(world.size())) {
     YGM_CHECK(capacity_ > 0, "mailbox capacity must be positive");
     YGM_CHECK(on_recv_ != nullptr, "mailbox requires a receive callback");
+    YGM_CHECK(world.size() < packet_trace_escape,
+              "world size collides with the reserved trace-annotation rank");
   }
 
   mailbox(const mailbox&) = delete;
@@ -102,8 +106,15 @@ class mailbox {
     }
     scratch_.clear();
     ser::append_bytes(m, scratch_);
+    // Causal-tracing sampling decision: deterministic in (origin, seq), so
+    // the same run samples the same messages. Self-sends (above) never hit
+    // the wire and are not sampled.
+    telemetry::causal::wire_ctx tc;
+    const bool traced = telemetry::causal::try_begin(
+        world_->rank(), trace_seq_++, static_cast<std::uint32_t>(data_tag_),
+        tc);
     enqueue(world_->route().next_hop(world_->rank(), dest), /*bcast=*/false,
-            dest, scratch_);
+            dest, scratch_, traced ? &tc : nullptr);
     maybe_exchange();
   }
 
@@ -171,7 +182,12 @@ class mailbox {
     // wait_empty while others polled test_empty — the allreduce ranks
     // blocked on a collective the polling ranks never entered.
     telemetry::span sp("mailbox.wait_empty");
-    while (!test_empty()) std::this_thread::yield();
+    telemetry::causal::stall_watchdog wd;
+    while (!test_empty()) {
+      wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
+               queued_bytes_});
+      std::this_thread::yield();
+    }
     sp.arg("hops_sent", stats_.hops_sent);
     if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
   }
@@ -185,7 +201,8 @@ class mailbox {
 
  private:
   void enqueue(int next_hop, bool is_bcast, int addr,
-               const std::vector<std::byte>& payload) {
+               const std::vector<std::byte>& payload,
+               const telemetry::causal::wire_ctx* trace = nullptr) {
     YGM_ASSERT(next_hop != world_->rank());
     world_->virtual_charge_events(1);
     auto& buf = buffers_[static_cast<std::size_t>(next_hop)];
@@ -197,6 +214,21 @@ class mailbox {
       nonempty_.push_back(next_hop);
       // Reserve the packet's arrival-time slot (virtual-time mode).
       if (world_->timed()) buf.resize(sizeof(double));
+    }
+    if (trace != nullptr) {
+      // Annotation record first, so the receiver sees the context before
+      // the message it describes. It adds wire bytes (counted below) but is
+      // not a message hop: record_counts_ and hops_sent exclude it.
+      telemetry::causal::record_hop(*trace, telemetry::causal::hop_kind::enqueue,
+                                    -1, payload.size());
+      trace_scratch_.clear();
+      telemetry::causal::encode_wire(*trace, trace_scratch_);
+      packet_append(buf, /*is_bcast=*/false, packet_trace_escape,
+                    trace_scratch_);
+      telemetry::count("trace.annotated_records");
+      pending_traces_[static_cast<std::size_t>(next_hop)].push_back(
+          {*trace, telemetry::now_us(),
+           static_cast<std::uint32_t>(payload.size())});
     }
     packet_append(buf, is_bcast, addr, payload);
     queued_bytes_ += buf.size() - before;
@@ -239,6 +271,18 @@ class mailbox {
     }
     stats_.hops_sent += record_counts_[static_cast<std::size_t>(nh)];
     record_counts_[static_cast<std::size_t>(nh)] = 0;
+    auto& pend = pending_traces_[static_cast<std::size_t>(nh)];
+    if (!pend.empty()) {
+      // One flush hop per sampled record: the span covers the record's
+      // residency in this coalescing buffer, the byte arg is the size of
+      // the wire packet it rode out in.
+      for (const auto& p : pend) {
+        telemetry::causal::record_hop(
+            p.ctx, telemetry::causal::hop_kind::flush, p.enqueue_us,
+            buf.size());
+      }
+      pend.clear();
+    }
     if (world_->timed()) {
       // Charge the sender's virtual clock for the transfer and stamp the
       // packet with its arrival time at the receiver.
@@ -283,12 +327,23 @@ class mailbox {
       body = body.subspan(sizeof(double));
     }
     packet_reader reader(body);
+    // Trace annotation for the NEXT message record, if the sender sampled
+    // it. Arrival completes a network leg, so the hop index bumps here.
+    telemetry::causal::wire_ctx tctx;
+    const telemetry::causal::wire_ctx* pending_trace = nullptr;
     while (!reader.done()) {
       const packet_record rec = reader.next();
+      if (packet_record_is_trace(rec)) {
+        tctx = telemetry::causal::decode_wire(rec.payload);
+        ++tctx.hop;
+        pending_trace = &tctx;
+        continue;  // metadata, not a message hop
+      }
       ++stats_.hops_received;
       world_->virtual_charge_events(1);
       if (rec.is_bcast) {
         YGM_ASSERT(rec.addr != me);  // bcast trees never loop to the origin
+        pending_trace = nullptr;  // broadcasts are never sampled
         deliver(rec.payload);
         const auto hops = world_->route().bcast_next_hops(me, rec.addr);
         if (!hops.empty()) {
@@ -301,6 +356,12 @@ class mailbox {
           }
         }
       } else if (rec.addr == me) {
+        if (pending_trace != nullptr) {
+          telemetry::causal::record_hop(*pending_trace,
+                                        telemetry::causal::hop_kind::deliver,
+                                        -1, rec.payload.size());
+          pending_trace = nullptr;
+        }
         deliver(rec.payload);
       } else {
         ++stats_.forwards;
@@ -308,7 +369,13 @@ class mailbox {
         const int nh = world_->route().next_hop(me, rec.addr);
         fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
                            static_cast<std::uint64_t>(nh));
-        enqueue(nh, /*bcast=*/false, rec.addr, fwd_scratch_);
+        if (pending_trace != nullptr) {
+          telemetry::causal::record_hop(*pending_trace,
+                                        telemetry::causal::hop_kind::forward,
+                                        -1, rec.payload.size());
+        }
+        enqueue(nh, /*bcast=*/false, rec.addr, fwd_scratch_, pending_trace);
+        pending_trace = nullptr;
       }
     }
   }
@@ -337,6 +404,18 @@ class mailbox {
   std::vector<std::byte> scratch_;      // serialization of outgoing messages
   std::vector<std::byte> fwd_scratch_;  // copy buffer for forwarded payloads
   mailbox_stats stats_;
+
+  // Causal tracing (telemetry/causal.hpp): sampled records awaiting their
+  // flush hop, keyed by next-hop like buffers_. Unsampled runs never touch
+  // any of this past the empty() checks.
+  struct pending_trace {
+    telemetry::causal::wire_ctx ctx;
+    double enqueue_us = 0;
+    std::uint32_t payload_bytes = 0;
+  };
+  std::vector<std::vector<pending_trace>> pending_traces_;
+  std::vector<std::byte> trace_scratch_;  // encoded annotation payloads
+  std::uint32_t trace_seq_ = 0;
 
   // Timeline event for each record this rank re-queues as an intermediary:
   // arg0 = final destination (or bcast origin), arg1 = chosen next hop.

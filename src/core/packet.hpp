@@ -12,6 +12,14 @@
 //                  addr = final destination rank (p2p) or origin rank (bcast)
 //   varint len     payload byte count
 //   len bytes      serialized message payload
+//
+// Trace annotations: causal tracing (telemetry/causal.hpp) piggybacks a
+// 16-byte trace context on sampled messages as an ordinary record addressed
+// to the reserved rank `packet_trace_escape`, placed immediately before the
+// message record it annotates. Readers that predate (or disable) tracing
+// skip it as an undeliverable record; with tracing compiled out no escape
+// record is ever appended, so unsampled packets are byte-identical to the
+// pre-tracing format.
 #pragma once
 
 #include <cstddef>
@@ -24,12 +32,22 @@
 
 namespace ygm::core {
 
+/// Reserved p2p address for trace-annotation records. No real rank may use
+/// it (mailboxes assert world size stays below it), so a record addressed
+/// here is unambiguously metadata about the record that follows.
+inline constexpr int packet_trace_escape = (1 << 30) - 1;
+
 /// Decoded view of one record inside a packet (payload not copied).
 struct packet_record {
   bool is_bcast = false;
   int addr = -1;  ///< destination rank (p2p) or origin rank (bcast)
   std::span<const std::byte> payload;
 };
+
+/// True if `rec` is a trace annotation for the next record, not a message.
+inline bool packet_record_is_trace(const packet_record& rec) noexcept {
+  return !rec.is_bcast && rec.addr == packet_trace_escape;
+}
 
 /// Append one record to a packet under construction.
 inline void packet_append(std::vector<std::byte>& packet, bool is_bcast,

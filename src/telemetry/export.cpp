@@ -12,53 +12,12 @@
 #include <ostream>
 #include <string>
 
+#include "telemetry/json_util.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ygm::telemetry {
 
 namespace {
-
-/// JSON string escaping for metric/span names (which are plain dotted
-/// identifiers today, but exporters should never emit invalid JSON even if
-/// a user names a counter creatively).
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  return buf;
-}
 
 const std::string& event_name(const std::vector<std::string>& names,
                               name_id id) {
@@ -141,25 +100,32 @@ bool session::write_chrome_trace(const std::string& path) const {
   return static_cast<bool>(os);
 }
 
-void session::write_metrics_json(std::ostream& os) const {
-  const metrics_registry m = merged_metrics();
-  os << "{\n  \"counters\": {";
+namespace {
+
+/// Emit one registry's counters/gauges/histograms sections (no outer
+/// braces); `indent` is the member indentation of the enclosing object.
+void write_registry_json(std::ostream& os, const metrics_registry& m,
+                         const std::string& indent) {
+  const std::string inner = indent + "  ";
+  os << indent << "\"counters\": {";
   bool first = true;
   for (const auto& [k, v] : m.counters()) {
-    os << (first ? "" : ",") << "\n    \"" << json_escape(k) << "\": " << v;
+    os << (first ? "" : ",") << "\n" << inner << "\"" << json_escape(k)
+       << "\": " << v;
     first = false;
   }
-  os << "\n  },\n  \"gauges\": {";
+  os << "\n" << indent << "},\n" << indent << "\"gauges\": {";
   first = true;
   for (const auto& [k, v] : m.gauges()) {
-    os << (first ? "" : ",") << "\n    \"" << json_escape(k)
+    os << (first ? "" : ",") << "\n" << inner << "\"" << json_escape(k)
        << "\": " << json_number(v);
     first = false;
   }
-  os << "\n  },\n  \"histograms\": {";
+  os << "\n" << indent << "},\n" << indent << "\"histograms\": {";
   first = true;
   for (const auto& [k, h] : m.histos()) {
-    os << (first ? "" : ",") << "\n    \"" << json_escape(k) << "\": {"
+    os << (first ? "" : ",") << "\n" << inner << "\"" << json_escape(k)
+       << "\": {"
        << "\"count\": " << h.count() << ", \"sum\": " << json_number(h.sum())
        << ", \"min\": " << json_number(h.min())
        << ", \"mean\": " << json_number(h.mean())
@@ -169,7 +135,30 @@ void session::write_metrics_json(std::ostream& os) const {
        << ", \"max\": " << json_number(h.max()) << '}';
     first = false;
   }
-  os << "\n  }\n}\n";
+  os << "\n" << indent << "}";
+}
+
+}  // namespace
+
+void session::write_metrics_json(std::ostream& os) const {
+  const metrics_registry m = merged_metrics();
+  os << "{\n";
+  write_registry_json(os, m, "  ");
+  // A session reused across several mpisim::run calls holds one lane group
+  // per run; the top-level sections above merge ALL of them (a gauge keeps
+  // the max across stale worlds). Emit each world separately too, so
+  // consumers can attribute metrics to the run that produced them.
+  const int nworlds = world_count();
+  if (nworlds > 1) {
+    os << ",\n  \"worlds\": [";
+    for (int w = 0; w < nworlds; ++w) {
+      os << (w == 0 ? "" : ",") << "\n    {\n      \"world\": " << w << ",\n";
+      write_registry_json(os, merged_metrics(w), "      ");
+      os << "\n    }";
+    }
+    os << "\n  ]";
+  }
+  os << "\n}\n";
 }
 
 bool session::write_metrics_json(const std::string& path) const {

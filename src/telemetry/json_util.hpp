@@ -1,0 +1,53 @@
+// Tiny JSON-emission helpers shared by the telemetry exporters
+// (export.cpp) and the causal-tracing postmortem writer (causal.cpp).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ygm::telemetry {
+
+/// JSON string escaping for metric/span names (which are plain dotted
+/// identifiers today, but exporters should never emit invalid JSON even if
+/// a user names a counter creatively).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace ygm::telemetry

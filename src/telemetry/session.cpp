@@ -143,6 +143,11 @@ double session::now_us() const noexcept {
       .count();
 }
 
+int session::world_count() const {
+  std::lock_guard lock(mtx_);
+  return static_cast<int>(worlds_.size());
+}
+
 metrics_registry session::merged_metrics() const {
   metrics_registry merged;
   for_each_recorder([&](recorder& rec) {
@@ -150,6 +155,22 @@ metrics_registry session::merged_metrics() const {
     merged.merge(rec.metrics());
   });
   return merged;
+}
+
+metrics_registry session::merged_metrics(int world) const {
+  metrics_registry merged;
+  std::lock_guard lock(mtx_);
+  YGM_CHECK(world >= 0 && world < static_cast<int>(worlds_.size()),
+            "telemetry world index out of range");
+  for (const auto& rec : worlds_[static_cast<std::size_t>(world)]) {
+    rec->fold_fast_metrics();
+    merged.merge(rec->metrics());
+  }
+  return merged;
+}
+
+void session::visit_lanes(const std::function<void(const recorder&)>& f) const {
+  for_each_recorder([&](const recorder& rec) { f(rec); });
 }
 
 std::uint64_t session::events_dropped() const {

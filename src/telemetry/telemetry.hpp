@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -155,8 +156,20 @@ class session {
   /// Microseconds since session construction (trace timestamp base).
   double now_us() const noexcept;
 
+  /// Number of worlds begun so far (world indices are [0, world_count())).
+  int world_count() const;
+
   /// All per-rank registries (plus folded fast metrics) merged into one.
+  /// The all-worlds overload folds every lane the session ever opened —
+  /// reusing one session across consecutive mpisim::run calls therefore
+  /// mixes runs (gauges keep the max across them); use the per-world
+  /// overload to read one run's metrics in isolation.
   metrics_registry merged_metrics() const;
+  metrics_registry merged_metrics(int world) const;
+
+  /// Visit every lane (export-time only: visited rank threads must have
+  /// finished, except from a crash-dump path that accepts torn reads).
+  void visit_lanes(const std::function<void(const recorder&)>& f) const;
 
   // Exporters (export.cpp). Path overloads return false on I/O failure.
   void write_chrome_trace(std::ostream& os) const;

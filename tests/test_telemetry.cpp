@@ -4,15 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cctype>
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <sstream>
 #include <string>
-#include <variant>
 #include <vector>
 
+#include "common/mini_json.hpp"
 #include "core/ygm.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -20,204 +18,12 @@ namespace {
 
 namespace sim = ygm::mpisim;
 namespace tel = ygm::telemetry;
+using ygm::common::json_parser;
+using ygm::common::json_value;
 using ygm::core::comm_world;
 using ygm::core::mailbox;
 using ygm::routing::scheme_kind;
 using ygm::routing::topology;
-
-// ----------------------------------------------------------- mini JSON
-
-// A deliberately small recursive-descent JSON parser — enough to verify
-// that exported traces/metrics are well-formed and to inspect them. Throws
-// std::runtime_error on malformed input.
-struct json_value;
-using json_object = std::map<std::string, json_value>;
-using json_array = std::vector<json_value>;
-
-struct json_value {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<json_array>, std::shared_ptr<json_object>>
-      v = nullptr;
-
-  bool is_object() const {
-    return std::holds_alternative<std::shared_ptr<json_object>>(v);
-  }
-  bool is_array() const {
-    return std::holds_alternative<std::shared_ptr<json_array>>(v);
-  }
-  const json_object& obj() const {
-    return *std::get<std::shared_ptr<json_object>>(v);
-  }
-  const json_array& arr() const {
-    return *std::get<std::shared_ptr<json_array>>(v);
-  }
-  double num() const { return std::get<double>(v); }
-  const std::string& str() const { return std::get<std::string>(v); }
-};
-
-class json_parser {
- public:
-  explicit json_parser(std::string_view s) : s_(s) {}
-
-  json_value parse() {
-    json_value v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing content");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("json error at byte " + std::to_string(pos_) +
-                             ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (s_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  json_value value() {
-    skip_ws();
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        return {std::string(string())};
-      case 't':
-        if (!consume_literal("true")) fail("bad literal");
-        return {true};
-      case 'f':
-        if (!consume_literal("false")) fail("bad literal");
-        return {false};
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        return {nullptr};
-      default:
-        return {number()};
-    }
-  }
-
-  json_value object() {
-    expect('{');
-    auto out = std::make_shared<json_object>();
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return {out};
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      (*out)[std::move(key)] = value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return {out};
-    }
-  }
-
-  json_value array() {
-    expect('[');
-    auto out = std::make_shared<json_array>();
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return {out};
-    }
-    for (;;) {
-      out->push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return {out};
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) fail("bad escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"':
-          case '\\':
-          case '/':
-            out += e;
-            break;
-          case 'n':
-            out += '\n';
-            break;
-          case 't':
-            out += '\t';
-            break;
-          case 'r':
-            out += '\r';
-            break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
-            out += '?';  // code point fidelity not needed for these tests
-            pos_ += 4;
-            break;
-          }
-          default:
-            fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  double number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected number");
-    return std::stod(std::string(s_.substr(start, pos_ - start)));
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
 
 // -------------------------------------------------- histogram percentiles
 
@@ -343,6 +149,47 @@ TEST(Session, RegistryMergesAcrossSimulatedRanks) {
   const tel::metrics_registry again = session.merged_metrics();
   EXPECT_EQ(again.counters().at("test.per_rank"),
             m.counters().at("test.per_rank"));
+}
+
+TEST(Session, PerWorldMetricsDoNotBleedAcrossRuns) {
+  // One session reused across consecutive mpisim::run calls: the all-worlds
+  // merge mixes the runs (gauges keep the max over STALE worlds), so the
+  // per-world accessors and the metrics JSON "worlds" array must keep each
+  // run readable in isolation.
+  tel::session session;
+  tel::set_global(&session);
+  sim::run(2, [&](sim::comm&) {
+    tel::tls()->metrics().gauge("test.queue_depth") = 100.0;
+    tel::tls()->metrics().counter("test.msgs") += 7;
+  });
+  sim::run(2, [&](sim::comm&) {
+    tel::tls()->metrics().gauge("test.queue_depth") = 5.0;
+    tel::tls()->metrics().counter("test.msgs") += 1;
+  });
+  tel::set_global(nullptr);
+
+  ASSERT_EQ(session.world_count(), 2);
+  // The stale first run must not leak into the second run's view...
+  const tel::metrics_registry run2 = session.merged_metrics(1);
+  EXPECT_DOUBLE_EQ(run2.gauges().at("test.queue_depth"), 5.0);
+  EXPECT_EQ(run2.counters().at("test.msgs"), 2u);
+  // ...while the all-worlds merge (documented behavior) still mixes them.
+  const tel::metrics_registry all = session.merged_metrics();
+  EXPECT_DOUBLE_EQ(all.gauges().at("test.queue_depth"), 100.0);
+  EXPECT_EQ(all.counters().at("test.msgs"), 16u);
+
+  // The JSON export carries the per-world split whenever >1 world exists.
+  std::ostringstream os;
+  session.write_metrics_json(os);
+  const json_value root = json_parser(os.str()).parse();
+  const auto& worlds = root.obj().at("worlds").arr();
+  ASSERT_EQ(worlds.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      worlds[0].obj().at("gauges").obj().at("test.queue_depth").num(), 100.0);
+  EXPECT_DOUBLE_EQ(
+      worlds[1].obj().at("gauges").obj().at("test.queue_depth").num(), 5.0);
+  EXPECT_DOUBLE_EQ(worlds[1].obj().at("counters").obj().at("test.msgs").num(),
+                   2.0);
 }
 
 TEST(Session, MailboxAndSubstrateCountersReachTheRegistry) {

@@ -21,10 +21,14 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "core/hybrid_mailbox.hpp"
 #include "core/invariants.hpp"
 #include "core/mailbox.hpp"
 #include "mpisim/runtime.hpp"
+#include "telemetry/causal.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -50,6 +54,10 @@ struct options {
   // Optional knob overrides (negative = use preset value).
   double delay_prob = -1, miss_prob = -1, stall_prob = -1;
   long delay_ticks = -1, stall_us = -1;
+  // Causal-tracing passthrough (docs/TELEMETRY.md §Causal tracing).
+  double trace_sample = -1;
+  std::string trace_out;
+  std::string postmortem_out;
 };
 
 [[noreturn]] void usage(int code) {
@@ -70,7 +78,11 @@ struct options {
       "  --epochs N           communication epochs per trial (default 2)\n"
       "  --delay-prob P --max-delay-ticks T --iprobe-miss-prob P\n"
       "  --stall-prob P --max-stall-us U\n"
-      "                       override individual chaos knobs\n");
+      "                       override individual chaos knobs\n"
+      "  --trace-sample R     causal-trace sample rate in [0,1] (default 0)\n"
+      "  --trace-out F        write a Chrome trace of the whole sweep to F\n"
+      "  --postmortem-out F   stall-watchdog flight-recorder dump file\n"
+      "                       (arms a 10 s watchdog if none configured)\n");
   std::exit(code);
 }
 
@@ -159,6 +171,9 @@ options parse(int argc, char** argv) {
     else if (a == "--iprobe-miss-prob") o.miss_prob = std::atof(need(i++).c_str());
     else if (a == "--stall-prob") o.stall_prob = std::atof(need(i++).c_str());
     else if (a == "--max-stall-us") o.stall_us = std::atol(need(i++).c_str());
+    else if (a == "--trace-sample") o.trace_sample = std::atof(need(i++).c_str());
+    else if (a == "--trace-out") o.trace_out = need(i++);
+    else if (a == "--postmortem-out") o.postmortem_out = need(i++);
     else {
       std::fprintf(stderr, "stress_ygm: unknown option '%s'\n", a.c_str());
       usage(2);
@@ -199,6 +214,23 @@ std::vector<std::string> run_one(const trial_config& t) {
 
 int main(int argc, char** argv) {
   const options o = parse(argc, argv);
+
+  namespace telemetry = ygm::telemetry;
+  if (o.trace_sample >= 0) telemetry::causal::set_sample_rate(o.trace_sample);
+  if (!o.postmortem_out.empty()) {
+    telemetry::causal::set_postmortem_path(o.postmortem_out);
+    if (telemetry::causal::stall_timeout_ms() <= 0) {
+      telemetry::causal::set_stall_timeout_ms(10000);
+    }
+  }
+  // Tracing and the watchdog both record into per-rank telemetry lanes, so
+  // either knob needs a session installed for the whole sweep.
+  std::unique_ptr<telemetry::session> tsession;
+  if (o.trace_sample > 0 || !o.trace_out.empty() ||
+      !o.postmortem_out.empty()) {
+    tsession = std::make_unique<telemetry::session>();
+    telemetry::set_global(tsession.get());
+  }
 
   std::uint64_t trials = 0;
   std::uint64_t failures = 0;
@@ -252,6 +284,19 @@ int main(int argc, char** argv) {
             }
           }
         }
+      }
+    }
+  }
+
+  if (tsession != nullptr) {
+    telemetry::set_global(nullptr);
+    if (!o.trace_out.empty()) {
+      if (tsession->write_chrome_trace(o.trace_out)) {
+        std::fprintf(stderr, "stress_ygm: wrote Chrome trace to %s\n",
+                     o.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "stress_ygm: FAILED to write %s\n",
+                     o.trace_out.c_str());
       }
     }
   }
