@@ -16,12 +16,14 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "net/evaluator.hpp"
 #include "net/params.hpp"
 #include "routing/router.hpp"
 #include "telemetry/causal.hpp"
+#include "telemetry/json_util.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ygm::bench {
@@ -110,6 +112,143 @@ inline void check_telemetry_flags(int argc, char** argv) {
   }
 }
 
+// ------------------------------------------------------------ JSON report
+//
+// `--bench-json=<file>` makes every bench emit its result tables (and any
+// programmatic metrics registered with add_metric) as one JSON document, in
+// addition to the text/CSV tables — the machine-readable form the BENCH_*
+// perf-trajectory files are built from. Sections follow banner() calls;
+// every table printed under a banner lands in that section.
+
+/// Reject malformed `--bench-json` spellings with exit 2, exactly like the
+/// `--trace-*` family: a typo must not silently run without the report.
+inline void check_bench_flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--bench-", 0) != 0) continue;
+    const auto eq = arg.find('=');
+    const std::string_view name = arg.substr(0, eq);
+    std::string_view value;
+    if (eq != std::string_view::npos) {
+      value = arg.substr(eq + 1);
+    } else if (name == "--bench-json" && i + 1 < argc &&
+               argv[i + 1][0] != '-') {
+      value = argv[i + 1];
+    }
+    if (name != "--bench-json" || value.empty()) {
+      std::fprintf(stderr,
+                   "error: malformed bench flag '%s'\n"
+                   "known form: --bench-json=<file>\n",
+                   std::string(arg).c_str());
+      std::exit(2);
+    }
+  }
+}
+
+class json_report {
+ public:
+  static json_report& instance() {
+    static json_report r;
+    return r;
+  }
+
+  void enable(std::string path, std::string bench_name) {
+    path_ = std::move(path);
+    bench_ = std::move(bench_name);
+  }
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Start a new section (banner() calls this; title/note mirror the text
+  /// output). Inert unless enabled.
+  void begin_section(std::string title, std::string note) {
+    if (!enabled()) return;
+    sections_.push_back({std::move(title), std::move(note), {}, {}});
+  }
+
+  /// Record one printed table into the current section.
+  void add_table(const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+    if (!enabled()) return;
+    current().tables.emplace_back(headers, rows);
+  }
+
+  /// Attach a named numeric result to the current section (for values a
+  /// table formats lossily — parse-back tooling reads these).
+  void add_metric(std::string key, double value) {
+    if (!enabled()) return;
+    current().metrics.emplace_back(std::move(key), value);
+  }
+
+  /// Write the document; returns false on I/O failure. Called by the
+  /// telemetry_guard destructor — benches never call it directly.
+  bool write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return false;
+    namespace tj = ygm::telemetry;
+    std::fprintf(f, "{\"bench\": \"%s\",\n \"sections\": [",
+                 tj::json_escape(bench_).c_str());
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      const auto& sec = sections_[s];
+      std::fprintf(f, "%s\n  {\"title\": \"%s\", \"note\": \"%s\",\n",
+                   s == 0 ? "" : ",", tj::json_escape(sec.title).c_str(),
+                   tj::json_escape(sec.note).c_str());
+      std::fprintf(f, "   \"tables\": [");
+      for (std::size_t t = 0; t < sec.tables.size(); ++t) {
+        const auto& [headers, rows] = sec.tables[t];
+        std::fprintf(f, "%s{\"headers\": [", t == 0 ? "" : ", ");
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+          std::fprintf(f, "%s\"%s\"", c == 0 ? "" : ", ",
+                       tj::json_escape(headers[c]).c_str());
+        }
+        std::fprintf(f, "], \"rows\": [");
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+          std::fprintf(f, "%s[", r == 0 ? "" : ", ");
+          for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            std::fprintf(f, "%s\"%s\"", c == 0 ? "" : ", ",
+                         tj::json_escape(rows[r][c]).c_str());
+          }
+          std::fputc(']', f);
+        }
+        std::fprintf(f, "]}");
+      }
+      std::fprintf(f, "],\n   \"metrics\": {");
+      for (std::size_t m = 0; m < sec.metrics.size(); ++m) {
+        std::fprintf(f, "%s\"%s\": %s", m == 0 ? "" : ", ",
+                     tj::json_escape(sec.metrics[m].first).c_str(),
+                     tj::json_number(sec.metrics[m].second).c_str());
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n]}\n");
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+  }
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct section {
+    std::string title;
+    std::string note;
+    std::vector<std::pair<std::vector<std::string>,
+                          std::vector<std::vector<std::string>>>>
+        tables;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  section& current() {
+    if (sections_.empty()) sections_.push_back({"", "", {}, {}});
+    return sections_.back();
+  }
+
+  std::string path_;
+  std::string bench_;
+  std::vector<section> sections_;
+};
+
 /// Per-bench telemetry driver. Construct first thing in main(); when any of
 ///   --trace-out=<file>.json     Chrome trace_event JSON (chrome://tracing
 ///                               or https://ui.perfetto.dev)
@@ -119,6 +258,7 @@ inline void check_telemetry_flags(int argc, char** argv) {
 ///   --postmortem-out=<file>     stall-watchdog flight-recorder destination
 ///                               (arms a 10 s watchdog if none configured)
 ///   --stall-timeout-ms=<ms>     stall-watchdog window (0 disables)
+///   --bench-json=<file>         JSON report of every table + metric
 ///   YGM_TELEMETRY=1             environment fallback (implies summary)
 /// is present, a telemetry session is installed globally, every mpisim::run
 /// in the bench records per-rank lanes, and the destructor writes the
@@ -132,6 +272,14 @@ class telemetry_guard {
         metrics_out_(flag_str(argc, argv, "metrics-out")),
         summary_(has_flag(argc, argv, "telemetry-summary")) {
     check_telemetry_flags(argc, argv);
+    check_bench_flags(argc, argv);
+    const std::string bench_json = flag_str(argc, argv, "bench-json");
+    if (!bench_json.empty()) {
+      std::string name = argc > 0 ? argv[0] : "bench";
+      const auto slash = name.find_last_of('/');
+      if (slash != std::string::npos) name = name.substr(slash + 1);
+      json_report::instance().enable(bench_json, std::move(name));
+    }
     const double sample = flag_double(argc, argv, "trace-sample", -1);
     const std::string postmortem = flag_str(argc, argv, "postmortem-out");
     const double stall_ms = flag_double(argc, argv, "stall-timeout-ms", -1);
@@ -158,6 +306,16 @@ class telemetry_guard {
   }
 
   ~telemetry_guard() {
+    auto& report = json_report::instance();
+    if (report.enabled()) {
+      if (report.write()) {
+        std::fprintf(stderr, "bench: wrote JSON report to %s\n",
+                     report.path().c_str());
+      } else {
+        std::fprintf(stderr, "bench: FAILED to write %s\n",
+                     report.path().c_str());
+      }
+    }
     if (session_ == nullptr) return;
     telemetry::set_global(nullptr);
     if (!trace_out_.empty()) {
@@ -217,6 +375,7 @@ class table {
   }
 
   void print() const {
+    json_report::instance().add_table(headers_, rows_);
     if (csv_mode()) {
       print_csv();
       return;
@@ -288,8 +447,10 @@ inline std::string fmt_int(double v) {
   return buf;
 }
 
-/// Section banner shared by all benches.
+/// Section banner shared by all benches. Also opens a new section in the
+/// --bench-json report, so tables printed after a banner land under it.
 inline void banner(const std::string& title, const std::string& note) {
+  json_report::instance().begin_section(title, note);
   std::printf("\n== %s ==\n", title.c_str());
   if (!note.empty()) std::printf("%s\n", note.c_str());
 }

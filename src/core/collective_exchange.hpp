@@ -24,14 +24,17 @@
 // asynchronous mailbox.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "core/comm_world.hpp"
+#include "core/packet.hpp"
 #include "ser/serialize.hpp"
 
 namespace ygm::core {
@@ -77,10 +80,15 @@ class collective_exchange {
 
   /// Collective: deliver every (destination, message) pair through the
   /// scheme's phases. Returns the messages addressed to this rank.
+  ///
+  /// In-flight messages live in flat packet-format byte buffers (the same
+  /// `(addr, len, payload)` framing the mailbox coalesces — see
+  /// core/packet.hpp), one buffer per sub-rank: each phase ships ONE
+  /// ALLTOALLV of std::byte instead of a vector-of-structs whose
+  /// per-message payload vectors each heap-allocate on both sides.
   std::vector<Msg> exchange(std::vector<std::pair<int, Msg>> outgoing) {
     std::vector<Msg> delivered;
-    std::vector<wire> holding;
-    holding.reserve(outgoing.size());
+    std::vector<std::byte> holding;
     const int me = world_->rank();
     for (auto& [dst, msg] : outgoing) {
       YGM_CHECK(dst >= 0 && dst < world_->size(),
@@ -89,39 +97,45 @@ class collective_exchange {
         delivered.push_back(std::move(msg));
         continue;
       }
-      holding.push_back(wire{dst, ser::to_bytes(msg)});
+      const packet_inplace_result rec = packet_append_inplace(
+          holding, /*is_bcast=*/false, dst, len_hint_,
+          [&](std::vector<std::byte>& out) { ser::append_bytes(msg, out); });
+      len_hint_ = rec.payload_size;
     }
 
+    std::vector<std::byte> keep;
     for (const phase p : phases_) {
       auto& sub = p == phase::local ? *node_comm_ : *remote_comm_;
       auto& to_sub = p == phase::local ? node_to_sub_ : remote_to_sub_;
 
-      std::vector<std::vector<wire>> sendbufs(
+      std::vector<std::vector<std::byte>> sendbufs(
           static_cast<std::size_t>(sub.size()));
-      std::vector<wire> keep;
-      for (auto& w : holding) {
-        const int nh = world_->route().next_hop(me, w.dst);
+      keep.clear();
+      for (packet_reader r({holding.data(), holding.size()}); !r.done();) {
+        const packet_record rec = r.next();
+        const int nh = world_->route().next_hop(me, rec.addr);
         const auto it = to_sub.find(nh);
         if (it == to_sub.end()) {
           // Next hop is not in this phase's communicator: the message
           // belongs to a later phase (e.g. a same-node destination during
           // NodeRemote's remote phase).
-          keep.push_back(std::move(w));
+          packet_append(keep, /*is_bcast=*/false, rec.addr, rec.payload);
         } else {
-          sendbufs[static_cast<std::size_t>(it->second)].push_back(
-              std::move(w));
+          packet_append(sendbufs[static_cast<std::size_t>(it->second)],
+                        /*is_bcast=*/false, rec.addr, rec.payload);
         }
       }
-      holding = std::move(keep);
+      holding.swap(keep);
 
-      auto received = sub.alltoallv(sendbufs);
-      for (auto& from_rank : received) {
-        for (auto& w : from_rank) {
-          if (w.dst == me) {
-            delivered.push_back(
-                ser::from_bytes<Msg>({w.payload.data(), w.payload.size()}));
+      const auto received = sub.alltoallv(sendbufs);
+      for (const auto& from_rank : received) {
+        for (packet_reader r({from_rank.data(), from_rank.size()});
+             !r.done();) {
+          const packet_record rec = r.next();
+          if (rec.addr == me) {
+            delivered.push_back(ser::from_bytes<Msg>(rec.payload));
           } else {
-            holding.push_back(std::move(w));
+            packet_append(holding, /*is_bcast=*/false, rec.addr, rec.payload);
           }
         }
       }
@@ -134,17 +148,6 @@ class collective_exchange {
 
  private:
   enum class phase { local, remote };
-
-  /// In-flight representation: final destination + serialized payload.
-  struct wire {
-    int dst = 0;
-    std::vector<std::byte> payload;
-
-    template <class Archive>
-    void serialize(Archive& ar) {
-      ar & dst & payload;
-    }
-  };
 
   void phases_by_kind() {
     switch (world_->route().kind()) {
@@ -183,6 +186,7 @@ class collective_exchange {
   std::optional<mpisim::comm> remote_comm_;
   std::unordered_map<int, int> node_to_sub_;    // world rank -> node subrank
   std::unordered_map<int, int> remote_to_sub_;  // world rank -> chan subrank
+  std::size_t len_hint_ = 0;  // previous payload size seeds length-slot width
 };
 
 }  // namespace ygm::core

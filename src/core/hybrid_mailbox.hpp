@@ -19,6 +19,7 @@
 // bound applies to remote buffers only.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/buffer_pool.hpp"
 #include "core/comm_world.hpp"
 #include "core/mailbox.hpp"
 #include "core/packet.hpp"
@@ -66,10 +68,13 @@ class shared_inbox {
     q_.push_back(std::move(rec));
   }
 
-  /// Move everything out (returns empty when nothing arrived).
-  std::vector<shared_record> drain() {
+  /// Move everything into `out` (cleared first). The caller's vector swaps
+  /// in as the new queue storage, so the two buffers ping-pong and the
+  /// steady state allocates nothing.
+  void drain(std::vector<shared_record>& out) {
+    out.clear();
     std::lock_guard lock(mtx_);
-    return std::exchange(q_, {});
+    q_.swap(out);
   }
 
  private:
@@ -148,14 +153,36 @@ class hybrid_mailbox {
       on_recv_(m);
       return;
     }
-    auto payload = std::make_shared<std::vector<std::byte>>();
-    ser::append_bytes(m, *payload);
-    detail::shared_record rec{std::move(payload), dest, false};
     // Same deterministic sampling as core::mailbox (self-sends excluded).
-    rec.traced = telemetry::causal::try_begin(
+    telemetry::causal::wire_ctx tc;
+    const bool traced = telemetry::causal::try_begin(
         world_->rank(), trace_seq_++, static_cast<std::uint32_t>(data_tag_),
-        rec.tctx);
-    forward(world_->route().next_hop(world_->rank(), dest), std::move(rec));
+        tc);
+    // Route first: only a node-local next hop needs the reference-counted
+    // shared record. A remote next hop serializes in place straight into
+    // the coalescing buffer — no shared_ptr, no payload vector.
+    const int nh = world_->route().next_hop(world_->rank(), dest);
+    if (world_->topo().same_node(world_->rank(), nh)) {
+      auto payload = std::make_shared<std::vector<std::byte>>();
+      ser::append_bytes(m, *payload);
+      detail::shared_record rec{std::move(payload), dest, false};
+      rec.traced = traced;
+      rec.tctx = tc;
+      forward(nh, std::move(rec));
+    } else {
+      ++stats_.hops_sent;
+      world_->virtual_charge_events(1);
+      std::size_t before = 0;
+      auto& buf = begin_record(nh, before);
+      if (traced) append_trace_escape(buf, tc);
+      const packet_inplace_result rec = packet_append_inplace(
+          buf, /*is_bcast=*/false, dest, len_hint_,
+          [&](std::vector<std::byte>& out) { ser::append_bytes(m, out); });
+      len_hint_ = rec.payload_size;
+      if (traced) note_trace_pending(nh, tc, rec.payload_size);
+      finish_record(nh, buf, before);
+      if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+    }
     maybe_exchange();
   }
 
@@ -251,35 +278,62 @@ class hybrid_mailbox {
       peer_inboxes_[static_cast<std::size_t>(next_hop)]->push(std::move(rec));
       return;
     }
-    auto& buf = buffers_[static_cast<std::size_t>(next_hop)];
-    // Sample `before` ahead of the arrival-stamp reservation: the 8-byte
-    // stamp must count toward queued_bytes_ (capacity and byte accounting
-    // agree with actual wire bytes — same audit as core::mailbox).
-    const std::size_t before = buf.size();
-    if (buf.empty()) {
-      nonempty_.push_back(next_hop);
-      if (world_->timed()) buf.resize(sizeof(double));  // arrival-time slot
-    }
+    std::size_t before = 0;
+    auto& buf = begin_record(next_hop, before);
     if (rec.traced) {
       // Annotation record ahead of the message, exactly like core::mailbox
       // (counted in wire bytes, excluded from hop counts).
-      telemetry::causal::record_hop(rec.tctx,
-                                    telemetry::causal::hop_kind::enqueue, -1,
-                                    rec.payload->size());
-      trace_scratch_.clear();
-      telemetry::causal::encode_wire(rec.tctx, trace_scratch_);
-      packet_append(buf, /*is_bcast=*/false, packet_trace_escape,
-                    trace_scratch_);
-      telemetry::count("trace.annotated_records");
-      pending_traces_[static_cast<std::size_t>(next_hop)].push_back(
-          {rec.tctx, telemetry::now_us(),
-           static_cast<std::uint32_t>(rec.payload->size())});
+      append_trace_escape(buf, rec.tctx);
+      note_trace_pending(next_hop, rec.tctx, rec.payload->size());
     }
     packet_append(buf, rec.is_bcast, rec.addr,
                   {rec.payload->data(), rec.payload->size()});
+    finish_record(next_hop, buf, before);
+    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+  }
+
+  // Shared record-append pieces (mirror core::mailbox — see docs/PERF.md).
+
+  /// `before_out` is sampled ahead of the arrival-stamp reservation: the
+  /// 8-byte stamp must count toward queued_bytes_ (capacity and byte
+  /// accounting agree with actual wire bytes — same audit as core::mailbox).
+  std::vector<std::byte>& begin_record(int next_hop, std::size_t& before_out) {
+    auto& buf = buffers_[static_cast<std::size_t>(next_hop)];
+    before_out = buf.size();
+    if (buf.empty()) {
+      if (buf.capacity() == 0) {
+        buf = buffer_pool::local().acquire(
+            std::min<std::size_t>(capacity_, 4096));
+      }
+      nonempty_.push_back(next_hop);
+      if (world_->timed()) buf.resize(sizeof(double));  // arrival-time slot
+    }
+    return buf;
+  }
+
+  void finish_record(int next_hop, const std::vector<std::byte>& buf,
+                     std::size_t before) {
     queued_bytes_ += buf.size() - before;
     ++record_counts_[static_cast<std::size_t>(next_hop)];
-    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+  }
+
+  void append_trace_escape(std::vector<std::byte>& buf,
+                           const telemetry::causal::wire_ctx& trace) {
+    trace_scratch_.clear();
+    telemetry::causal::encode_wire(trace, trace_scratch_);
+    packet_append(buf, /*is_bcast=*/false, packet_trace_escape,
+                  trace_scratch_);
+    telemetry::count("trace.annotated_records");
+  }
+
+  void note_trace_pending(int next_hop,
+                          const telemetry::causal::wire_ctx& trace,
+                          std::size_t payload_bytes) {
+    telemetry::causal::record_hop(trace, telemetry::causal::hop_kind::enqueue,
+                                  -1, payload_bytes);
+    pending_traces_[static_cast<std::size_t>(next_hop)].push_back(
+        {trace, telemetry::now_us(),
+         static_cast<std::uint32_t>(payload_bytes)});
   }
 
   void maybe_exchange() {
@@ -320,8 +374,10 @@ class hybrid_mailbox {
           world_->virtual_charge_packet(buf.size(), /*remote=*/true);
       std::memcpy(buf.data(), &arrival, sizeof(double));
     }
+    // Moved-from: empty, no capacity; the next record re-acquires from the
+    // pool (the receiver releases the drained packet to its own pool).
     world_->mpi().send_bytes(nh, data_tag_, std::move(buf));
-    buf = {};
+    buf.clear();
   }
 
   // Reentrant calls (a receive callback invoking poll()/test_empty()) are
@@ -338,7 +394,8 @@ class hybrid_mailbox {
   // completes a network leg for a sampled record: bump its hop index and
   // record the inbox residency (push to drain) as the handoff hop.
   void drain_inbox() {
-    for (auto& rec : inbox_->drain()) {
+    inbox_->drain(inbox_scratch_);
+    for (auto& rec : inbox_scratch_) {
       ++stats_.hops_received;
       world_->virtual_advance_to(rec.arrival_vtime);
       world_->virtual_charge_events(1);
@@ -359,7 +416,7 @@ class hybrid_mailbox {
 
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
-      const auto packet = mpi.recv_bytes(st->source, data_tag_);
+      auto packet = mpi.recv_bytes(st->source, data_tag_);
       std::span<const std::byte> body(packet.data(), packet.size());
       if (world_->timed()) {
         double arrival = 0;
@@ -394,6 +451,9 @@ class hybrid_mailbox {
         have_trace = false;
         handle_record(std::move(srec));
       }
+      // Every record was rewrapped (copied) above, so the packet's
+      // capacity can be recycled.
+      buffer_pool::local().release(std::move(packet));
       // A remote packet may have arrived while we were draining; loop picks
       // it up. Shared records that arrived meanwhile are caught by the next
       // poll (or the termination rounds).
@@ -455,6 +515,8 @@ class hybrid_mailbox {
   std::vector<std::uint32_t> record_counts_;
   std::vector<int> nonempty_;
   std::size_t queued_bytes_ = 0;
+  std::size_t len_hint_ = 0;  ///< previous payload size seeds length-slot width
+  std::vector<detail::shared_record> inbox_scratch_;  // drain ping-pong buffer
   bool in_exchange_ = false;
   std::uint64_t shared_handoffs_ = 0;
 

@@ -26,15 +26,18 @@
 // propagation, ...).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/buffer_pool.hpp"
 #include "core/comm_world.hpp"
 #include "core/packet.hpp"
 #include "core/stats.hpp"
@@ -93,19 +96,18 @@ class mailbox {
       if (world_->serialize_self_sends()) {
         // Debug/chaos path: round-trip rank-local deliveries through ser::
         // like any remote message, so asymmetric serialize() bugs surface
-        // in single-rank runs too. A local buffer, not scratch_ — the
-        // callback may itself send().
-        std::vector<std::byte> buf;
+        // in single-rank runs too. A pooled local buffer — the callback may
+        // itself send().
+        auto buf = buffer_pool::local().acquire();
         ser::append_bytes(m, buf);
         deliver({buf.data(), buf.size()});
+        buffer_pool::local().release(std::move(buf));
         return;
       }
       ++stats_.deliveries;
       on_recv_(m);
       return;
     }
-    scratch_.clear();
-    ser::append_bytes(m, scratch_);
     // Causal-tracing sampling decision: deterministic in (origin, seq), so
     // the same run samples the same messages. Self-sends (above) never hit
     // the wire and are not sampled.
@@ -113,8 +115,21 @@ class mailbox {
     const bool traced = telemetry::causal::try_begin(
         world_->rank(), trace_seq_++, static_cast<std::uint32_t>(data_tag_),
         tc);
-    enqueue(world_->route().next_hop(world_->rank(), dest), /*bcast=*/false,
-            dest, scratch_, traced ? &tc : nullptr);
+    // Zero-copy: serialize straight into the coalescing buffer's record
+    // slot (no scratch round-trip). The previous payload size seeds the
+    // length-slot width, so fixed-size message streams never shift bytes.
+    const int nh = world_->route().next_hop(world_->rank(), dest);
+    world_->virtual_charge_events(1);
+    std::size_t before = 0;
+    auto& buf = begin_record(nh, before);
+    if (traced) append_trace_escape(buf, tc);
+    const packet_inplace_result rec = packet_append_inplace(
+        buf, /*is_bcast=*/false, dest, len_hint_,
+        [&](std::vector<std::byte>& out) { ser::append_bytes(m, out); });
+    len_hint_ = rec.payload_size;
+    if (traced) note_trace_pending(nh, tc, rec.payload_size);
+    finish_record(nh, buf, before);
+    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
     maybe_exchange();
   }
 
@@ -123,12 +138,27 @@ class mailbox {
   /// scheme's broadcast tree.
   void send_bcast(const Msg& m) {
     ++stats_.app_bcasts;
-    scratch_.clear();
-    ser::append_bytes(m, scratch_);
     const int me = world_->rank();
-    for (int nh : world_->route().bcast_next_hops(me, me)) {
-      enqueue(nh, /*bcast=*/true, me, scratch_);
+    const auto hops = world_->route().bcast_next_hops(me, me);
+    if (hops.empty()) return;
+    // Serialize once, in place, into the first hop's buffer; the siblings
+    // copy that record's payload span. The inline-flush check is deferred
+    // past the fan-out so a mid-loop flush cannot invalidate the span.
+    world_->virtual_charge_events(1);
+    std::size_t before = 0;
+    auto& fbuf = begin_record(hops[0], before);
+    const packet_inplace_result rec = packet_append_inplace(
+        fbuf, /*is_bcast=*/true, me, len_hint_,
+        [&](std::vector<std::byte>& out) { ser::append_bytes(m, out); });
+    len_hint_ = rec.payload_size;
+    finish_record(hops[0], fbuf, before);
+    const std::span<const std::byte> payload(fbuf.data() + rec.payload_offset,
+                                             rec.payload_size);
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      enqueue(hops[i], /*bcast=*/true, me, payload, nullptr,
+              /*defer_flush=*/true);
     }
+    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
     maybe_exchange();
   }
 
@@ -200,42 +230,85 @@ class mailbox {
   std::size_t queued_bytes() const noexcept { return queued_bytes_; }
 
  private:
-  void enqueue(int next_hop, bool is_bcast, int addr,
-               const std::vector<std::byte>& payload,
-               const telemetry::causal::wire_ctx* trace = nullptr) {
+  // ------------------------------------------------- record-append pieces
+  //
+  // The send/forward hot paths share three steps: begin_record (pool
+  // acquire + arrival-stamp slot, returns the pre-record size), the record
+  // bytes themselves (in-place serialization or a span copy), and
+  // finish_record (byte/record accounting).
+
+  /// `before_out` is sampled ahead of the arrival-stamp reservation so the
+  /// 8-byte stamp counts toward queued_bytes_: capacity triggering and the
+  /// byte counters must agree with the bytes that actually hit the wire.
+  std::vector<std::byte>& begin_record(int next_hop, std::size_t& before_out) {
     YGM_ASSERT(next_hop != world_->rank());
-    world_->virtual_charge_events(1);
     auto& buf = buffers_[static_cast<std::size_t>(next_hop)];
-    // `before` is sampled ahead of the arrival-stamp reservation so the
-    // 8-byte stamp counts toward queued_bytes_: capacity triggering and the
-    // byte counters must agree with the bytes that actually hit the wire.
-    const std::size_t before = buf.size();
+    before_out = buf.size();
     if (buf.empty()) {
+      // A flushed buffer was moved to the transport; recycle drained
+      // capacity from this rank's pool instead of re-paying the growth
+      // chain (docs/PERF.md has the ownership lifecycle).
+      if (buf.capacity() == 0) {
+        buf = buffer_pool::local().acquire(
+            std::min<std::size_t>(capacity_, 4096));
+      }
       nonempty_.push_back(next_hop);
       // Reserve the packet's arrival-time slot (virtual-time mode).
       if (world_->timed()) buf.resize(sizeof(double));
     }
-    if (trace != nullptr) {
-      // Annotation record first, so the receiver sees the context before
-      // the message it describes. It adds wire bytes (counted below) but is
-      // not a message hop: record_counts_ and hops_sent exclude it.
-      telemetry::causal::record_hop(*trace, telemetry::causal::hop_kind::enqueue,
-                                    -1, payload.size());
-      trace_scratch_.clear();
-      telemetry::causal::encode_wire(*trace, trace_scratch_);
-      packet_append(buf, /*is_bcast=*/false, packet_trace_escape,
-                    trace_scratch_);
-      telemetry::count("trace.annotated_records");
-      pending_traces_[static_cast<std::size_t>(next_hop)].push_back(
-          {*trace, telemetry::now_us(),
-           static_cast<std::uint32_t>(payload.size())});
-    }
-    packet_append(buf, is_bcast, addr, payload);
+    return buf;
+  }
+
+  void finish_record(int next_hop, const std::vector<std::byte>& buf,
+                     std::size_t before) {
     queued_bytes_ += buf.size() - before;
     ++record_counts_[static_cast<std::size_t>(next_hop)];
+  }
+
+  /// Annotation record first, so the receiver sees the context before the
+  /// message it describes. It adds wire bytes (counted by finish_record)
+  /// but is not a message hop: record_counts_ and hops_sent exclude it.
+  void append_trace_escape(std::vector<std::byte>& buf,
+                           const telemetry::causal::wire_ctx& trace) {
+    trace_scratch_.clear();
+    telemetry::causal::encode_wire(trace, trace_scratch_);
+    packet_append(buf, /*is_bcast=*/false, packet_trace_escape,
+                  trace_scratch_);
+    telemetry::count("trace.annotated_records");
+  }
+
+  void note_trace_pending(int next_hop,
+                          const telemetry::causal::wire_ctx& trace,
+                          std::size_t payload_bytes) {
+    telemetry::causal::record_hop(trace, telemetry::causal::hop_kind::enqueue,
+                                  -1, payload_bytes);
+    pending_traces_[static_cast<std::size_t>(next_hop)].push_back(
+        {trace, telemetry::now_us(),
+         static_cast<std::uint32_t>(payload_bytes)});
+  }
+
+  /// Append an already-serialized record (forwards and broadcast fan-out —
+  /// the payload span points into the received packet or a sibling buffer,
+  /// never into buffers_[next_hop] itself).
+  ///
+  /// `defer_flush` lets callers holding a span into another coalescing
+  /// buffer postpone the inline flush check until the span is dead.
+  void enqueue(int next_hop, bool is_bcast, int addr,
+               std::span<const std::byte> payload,
+               const telemetry::causal::wire_ctx* trace = nullptr,
+               bool defer_flush = false) {
+    world_->virtual_charge_events(1);
+    std::size_t before = 0;
+    auto& buf = begin_record(next_hop, before);
+    if (trace != nullptr) {
+      append_trace_escape(buf, *trace);
+      note_trace_pending(next_hop, *trace, payload.size());
+    }
+    packet_append(buf, is_bcast, addr, payload);
+    finish_record(next_hop, buf, before);
     // Forwarding during an exchange can overfill the buffers; flush inline
     // (without re-entering the poll loop).
-    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+    if (!defer_flush && in_exchange_ && queued_bytes_ >= capacity_) flush();
   }
 
   void maybe_exchange() {
@@ -289,15 +362,19 @@ class mailbox {
       const double arrival = world_->virtual_charge_packet(buf.size(), remote);
       std::memcpy(buf.data(), &arrival, sizeof(double));
     }
+    // Moved-from: buf is left empty with no capacity; the next record for
+    // this hop re-acquires capacity from the pool (the receiver releases
+    // the drained packet to its own pool, keeping the cycle allocation-free
+    // in the steady state).
     world_->mpi().send_bytes(nh, data_tag_, std::move(buf));
-    buf = {};
+    buf.clear();
   }
 
   // Reentrant calls are no-ops: a receive callback that drives progress
   // itself (poll()/test_empty() — the external-work-queue pattern) would
   // otherwise re-enter the drain loop below once per queued packet,
-  // recursing unboundedly and clobbering fwd_scratch_ mid-forward. The
-  // outer drain picks up whatever arrives meanwhile.
+  // recursing unboundedly. The outer drain picks up whatever arrives
+  // meanwhile.
   void poll_incoming() {
     if (in_exchange_) return;
     in_exchange_ = true;
@@ -309,8 +386,12 @@ class mailbox {
   void drain_incoming() {
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
-      const auto packet = mpi.recv_bytes(st->source, data_tag_);
+      auto packet = mpi.recv_bytes(st->source, data_tag_);
       handle_packet(packet);
+      // handle_packet copies every span it keeps (enqueue appends payload
+      // bytes into coalescing buffers), so no reference into the packet
+      // survives it and the capacity can be recycled.
+      buffer_pool::local().release(std::move(packet));
     }
   }
 
@@ -345,15 +426,14 @@ class mailbox {
         YGM_ASSERT(rec.addr != me);  // bcast trees never loop to the origin
         pending_trace = nullptr;  // broadcasts are never sampled
         deliver(rec.payload);
-        const auto hops = world_->route().bcast_next_hops(me, rec.addr);
-        if (!hops.empty()) {
-          fwd_scratch_.assign(rec.payload.begin(), rec.payload.end());
-          for (int nh : hops) {
-            ++stats_.forwards;
-            fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
-                               static_cast<std::uint64_t>(nh));
-            enqueue(nh, /*bcast=*/true, rec.addr, fwd_scratch_);
-          }
+        // Forward straight from the received packet's span — enqueue copies
+        // it into the coalescing buffers, and an inline flush only touches
+        // those buffers, so the span stays valid across the fan-out.
+        for (int nh : world_->route().bcast_next_hops(me, rec.addr)) {
+          ++stats_.forwards;
+          fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
+                             static_cast<std::uint64_t>(nh));
+          enqueue(nh, /*bcast=*/true, rec.addr, rec.payload);
         }
       } else if (rec.addr == me) {
         if (pending_trace != nullptr) {
@@ -365,7 +445,6 @@ class mailbox {
         deliver(rec.payload);
       } else {
         ++stats_.forwards;
-        fwd_scratch_.assign(rec.payload.begin(), rec.payload.end());
         const int nh = world_->route().next_hop(me, rec.addr);
         fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
                            static_cast<std::uint64_t>(nh));
@@ -374,7 +453,9 @@ class mailbox {
                                         telemetry::causal::hop_kind::forward,
                                         -1, rec.payload.size());
         }
-        enqueue(nh, /*bcast=*/false, rec.addr, fwd_scratch_, pending_trace);
+        // Re-queue straight from the received packet's span (no copy
+        // through a forward scratch buffer).
+        enqueue(nh, /*bcast=*/false, rec.addr, rec.payload, pending_trace);
         pending_trace = nullptr;
       }
     }
@@ -401,8 +482,10 @@ class mailbox {
   std::size_t queued_bytes_ = 0;
   bool in_exchange_ = false;
 
-  std::vector<std::byte> scratch_;      // serialization of outgoing messages
-  std::vector<std::byte> fwd_scratch_;  // copy buffer for forwarded payloads
+  // Length-slot width hint for in-place serialization: the previous
+  // payload size, so fixed-size message streams patch the varint in place
+  // without ever shifting payload bytes.
+  std::size_t len_hint_ = 0;
   mailbox_stats stats_;
 
   // Causal tracing (telemetry/causal.hpp): sampled records awaiting their

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -58,6 +59,53 @@ inline void packet_append(std::vector<std::byte>& packet, bool is_bcast,
   ser::varint_encode(header, packet);
   ser::varint_encode(payload.size(), packet);
   packet.insert(packet.end(), payload.begin(), payload.end());
+}
+
+/// Where an in-place append landed its payload inside the packet.
+struct packet_inplace_result {
+  std::size_t payload_offset = 0;  ///< first payload byte, as a packet index
+  std::size_t payload_size = 0;    ///< serialized payload byte count
+};
+
+/// Append one record, serializing the payload directly into the packet —
+/// the zero-copy counterpart of packet_append. `serialize_payload` is any
+/// callable appending the payload bytes to the vector it is given (e.g.
+/// `ser::append_bytes(m, out)`); its size need not be known up front.
+///
+/// A length slot sized for `len_hint` is reserved between the header and
+/// the payload, then patched with the minimal varint once the true size is
+/// known; when the guess was wrong the payload is shifted by the width
+/// difference. The encoding is therefore byte-identical to packet_append
+/// for every (addr, is_bcast, payload) — callers feed the previous record's
+/// size back as the hint so steady streams of same-sized messages never
+/// shift. Returns the payload's final position (still valid until the next
+/// packet mutation), so broadcast fan-out can memcpy the encoded payload to
+/// sibling buffers instead of re-serializing.
+template <class SerializeFn>
+packet_inplace_result packet_append_inplace(std::vector<std::byte>& packet,
+                                            bool is_bcast, int addr,
+                                            std::size_t len_hint,
+                                            SerializeFn&& serialize_payload) {
+  YGM_ASSERT(addr >= 0);
+  const std::uint64_t header =
+      (static_cast<std::uint64_t>(addr) << 1) | (is_bcast ? 1u : 0u);
+  ser::varint_encode(header, packet);
+  const std::size_t slot_at = packet.size();
+  const std::size_t slot_width = ser::varint_size(len_hint);
+  packet.resize(slot_at + slot_width);
+  const std::size_t payload_at = packet.size();
+  serialize_payload(packet);
+  YGM_ASSERT(packet.size() >= payload_at);
+  const std::size_t len = packet.size() - payload_at;
+  const std::size_t width = ser::varint_size(len);
+  if (width != slot_width) {
+    if (width > slot_width) packet.resize(packet.size() + (width - slot_width));
+    std::memmove(packet.data() + slot_at + width, packet.data() + payload_at,
+                 len);
+    if (width < slot_width) packet.resize(slot_at + width + len);
+  }
+  ser::varint_encode_at(len, packet.data() + slot_at);
+  return {slot_at + width, len};
 }
 
 /// Upper bound on the encoded size of one record (for capacity accounting).

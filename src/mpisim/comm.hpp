@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/buffer_pool.hpp"  // sanctioned upward include (src/CMakeLists.txt)
 #include "mpisim/ops.hpp"
 #include "mpisim/request.hpp"
 #include "mpisim/types.hpp"
@@ -43,16 +44,23 @@ class comm {
   std::vector<std::byte> recv_bytes(int src, int tag,
                                     status* st = nullptr) const;
 
-  /// Typed send: v is serialized via ygm::ser.
+  /// Typed send: v is serialized via ygm::ser into a pooled payload buffer
+  /// (the receiver's recv() releases it, so typed traffic recycles capacity
+  /// exactly like mailbox packets).
   template <class T>
   void send(const T& v, int dest, int tag) const {
-    send_bytes(dest, tag, ser::to_bytes(v));
+    auto buf = core::buffer_pool::local().acquire();
+    ser::append_bytes(v, buf);
+    send_bytes(dest, tag, std::move(buf));
   }
 
   /// Typed blocking receive.
   template <class T>
   T recv(int src, int tag, status* st = nullptr) const {
-    return ser::from_bytes<T>(recv_bytes(src, tag, st));
+    auto buf = recv_bytes(src, tag, st);
+    T v = ser::from_bytes<T>({buf.data(), buf.size()});
+    core::buffer_pool::local().release(std::move(buf));
+    return v;
   }
 
   /// Nonblocking send. Completes immediately (sends are eager) but returns
@@ -156,11 +164,16 @@ class comm {
 
   template <class T>
   void coll_send(const T& v, int dest, int tag) const {
-    coll_send_bytes(dest, tag, ser::to_bytes(v));
+    auto buf = core::buffer_pool::local().acquire();
+    ser::append_bytes(v, buf);
+    coll_send_bytes(dest, tag, std::move(buf));
   }
   template <class T>
   T coll_recv(int src, int tag) const {
-    return ser::from_bytes<T>(coll_recv_bytes(src, tag));
+    auto buf = coll_recv_bytes(src, tag);
+    T v = ser::from_bytes<T>({buf.data(), buf.size()});
+    core::buffer_pool::local().release(std::move(buf));
+    return v;
   }
 
   int world_rank_of(int group_rank) const {

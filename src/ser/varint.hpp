@@ -43,6 +43,21 @@ inline std::uint64_t varint_decode(const std::byte*& p, const std::byte* end) {
   }
 }
 
+/// Write the minimal LEB128 encoding of v at p (no bounds check — the
+/// caller must have reserved varint_size(v) bytes). Returns bytes written.
+/// Used to patch a length slot in place after its payload has been
+/// serialized (core/packet.hpp's in-place record encoder).
+inline std::size_t varint_encode_at(std::uint64_t v, std::byte* p) noexcept {
+  std::size_t n = 0;
+  do {
+    std::uint8_t b = static_cast<std::uint8_t>(v & 0x7fu);
+    v >>= 7;
+    if (v != 0) b |= 0x80u;
+    p[n++] = static_cast<std::byte>(b);
+  } while (v != 0);
+  return n;
+}
+
 /// Number of bytes varint_encode would emit for v.
 constexpr std::size_t varint_size(std::uint64_t v) noexcept {
   std::size_t n = 1;

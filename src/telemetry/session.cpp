@@ -26,6 +26,12 @@ std::string_view fast_counter_name(fast_counter c) {
       return "mpi.collectives";
     case fast_counter::term_rounds:
       return "term.rounds";
+    case fast_counter::pool_hits:
+      return "pool.hits";
+    case fast_counter::pool_misses:
+      return "pool.misses";
+    case fast_counter::alloc_bytes:
+      return "alloc.bytes";
     case fast_counter::count_:
       break;
   }

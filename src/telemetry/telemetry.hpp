@@ -57,6 +57,9 @@ enum class fast_counter : unsigned {
   mpi_recv_bytes,
   mpi_collectives,      ///< barrier/collective invocations
   term_rounds,          ///< termination-detection rounds completed
+  pool_hits,            ///< packet-buffer-pool acquires served from the pool
+  pool_misses,          ///< pool acquires that had to heap-allocate
+  alloc_bytes,          ///< bytes freshly reserved by pool misses
   count_  // sentinel
 };
 

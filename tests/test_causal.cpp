@@ -165,6 +165,44 @@ TEST(CausalSampling, RateZeroIsWireByteIdenticalToUntraced) {
   EXPECT_GT(on.merged_metrics().counters().at("trace.annotated_records"), 0u);
 }
 
+TEST(CausalSampling, InplaceEncodingMatchesReferenceIncludingEscape) {
+  // The mailboxes now serialize traced records in place (escape record via
+  // packet_append, message payload via packet_append_inplace). The wire
+  // bytes must match the reference construction — escape + copy-based
+  // append — for every length-slot hint, or ygm_trace's decode breaks.
+  causal::wire_ctx ctx;
+  ctx.id = 0x00dead'beef'cafeULL;
+  ctx.origin = 6;
+  ctx.hop = 2;
+
+  const std::vector<std::uint64_t> values = {0, 42, std::uint64_t{1} << 40};
+  for (const std::uint64_t v : values) {
+    const auto payload = ygm::ser::to_bytes(v);
+
+    std::vector<std::byte> reference;
+    std::vector<std::byte> esc;
+    causal::encode_wire(ctx, esc);
+    ygm::core::packet_append(reference, /*is_bcast=*/false,
+                             ygm::core::packet_trace_escape, esc);
+    ygm::core::packet_append(reference, /*is_bcast=*/false, /*addr=*/3,
+                             payload);
+
+    for (const std::size_t hint : {std::size_t{0}, payload.size(),
+                                   std::size_t{200}, std::size_t{20000}}) {
+      std::vector<std::byte> inplace;
+      std::vector<std::byte> esc2;
+      causal::encode_wire(ctx, esc2);
+      ygm::core::packet_append(inplace, /*is_bcast=*/false,
+                               ygm::core::packet_trace_escape, esc2);
+      const auto rec = ygm::core::packet_append_inplace(
+          inplace, /*is_bcast=*/false, /*addr=*/3, hint,
+          [&](std::vector<std::byte>& out) { ygm::ser::append_bytes(v, out); });
+      EXPECT_EQ(inplace, reference) << "value " << v << " hint " << hint;
+      EXPECT_EQ(rec.payload_size, payload.size());
+    }
+  }
+}
+
 // ----------------------------------------------- journey completeness
 
 template <template <class> class MailboxT>

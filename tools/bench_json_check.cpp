@@ -1,0 +1,140 @@
+// Validator for the --bench-json reports the bench harness emits (see
+// bench/bench_util.hpp). The `-L perf` ctest smoke runs perf_hotpath --tiny
+// with --bench-json and then parses the file back through this tool, so a
+// report that silently stopped being machine-readable fails CI instead of
+// failing whoever consumes BENCH_hotpath.json next.
+//
+// Usage: bench_json_check [--bench <name>] [--require-metric <substr>] <file>
+//   --bench <name>            assert the report's "bench" field
+//   --require-metric <substr> assert some section has a metric whose key
+//                             contains <substr> with a finite value > 0
+//                             (repeatable)
+// Exit 0 on success, 1 on a failed check or malformed report.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/mini_json.hpp"
+
+namespace {
+
+using ygm::common::json_value;
+
+bool fail(const std::string& why) {
+  std::fprintf(stderr, "bench_json_check: FAIL: %s\n", why.c_str());
+  return false;
+}
+
+bool check(const json_value& root, const std::string& want_bench,
+           const std::vector<std::string>& want_metrics) {
+  if (!root.is_object()) return fail("top level is not an object");
+  const auto& top = root.obj();
+  const auto bench_it = top.find("bench");
+  if (bench_it == top.end() || !bench_it->second.is_string()) {
+    return fail("missing \"bench\" name");
+  }
+  if (!want_bench.empty() && bench_it->second.str() != want_bench) {
+    return fail("bench is \"" + bench_it->second.str() + "\", expected \"" +
+                want_bench + "\"");
+  }
+  const auto sec_it = top.find("sections");
+  if (sec_it == top.end() || !sec_it->second.is_array()) {
+    return fail("missing \"sections\" array");
+  }
+  const auto& sections = sec_it->second.arr();
+  if (sections.empty()) return fail("report has no sections");
+
+  std::size_t total_rows = 0;
+  std::vector<bool> metric_seen(want_metrics.size(), false);
+  for (const auto& sec : sections) {
+    if (!sec.is_object()) return fail("section is not an object");
+    const auto& s = sec.obj();
+    const auto tables = s.find("tables");
+    if (tables == s.end() || !tables->second.is_array()) {
+      return fail("section missing \"tables\"");
+    }
+    for (const auto& tab : tables->second.arr()) {
+      if (!tab.is_object()) return fail("table is not an object");
+      const auto& t = tab.obj();
+      const auto headers = t.find("headers");
+      const auto rows = t.find("rows");
+      if (headers == t.end() || !headers->second.is_array() ||
+          rows == t.end() || !rows->second.is_array()) {
+        return fail("table missing headers/rows");
+      }
+      const std::size_t ncols = headers->second.arr().size();
+      if (ncols == 0) return fail("table has no columns");
+      for (const auto& row : rows->second.arr()) {
+        if (!row.is_array() || row.arr().size() > ncols) {
+          return fail("row shape does not match headers");
+        }
+        ++total_rows;
+      }
+    }
+    const auto metrics = s.find("metrics");
+    if (metrics == s.end() || !metrics->second.is_object()) {
+      return fail("section missing \"metrics\"");
+    }
+    for (const auto& [key, value] : metrics->second.obj()) {
+      if (!value.is_number()) return fail("metric \"" + key + "\" not numeric");
+      for (std::size_t i = 0; i < want_metrics.size(); ++i) {
+        if (key.find(want_metrics[i]) != std::string::npos &&
+            std::isfinite(value.num()) && value.num() > 0) {
+          metric_seen[i] = true;
+        }
+      }
+    }
+  }
+  if (total_rows == 0) return fail("no table rows in any section");
+  for (std::size_t i = 0; i < want_metrics.size(); ++i) {
+    if (!metric_seen[i]) {
+      return fail("no positive metric matching \"" + want_metrics[i] + "\"");
+    }
+  }
+  std::printf("bench_json_check: OK (%zu sections, %zu table rows)\n",
+              sections.size(), total_rows);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string want_bench;
+  std::vector<std::string> want_metrics;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench" && i + 1 < argc) {
+      want_bench = argv[++i];
+    } else if (arg == "--require-metric" && i + 1 < argc) {
+      want_metrics.emplace_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: bench_json_check [--bench <name>] "
+                           "[--require-metric <substr>]... <file>\n");
+      return 1;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "bench_json_check: no input file\n");
+    return 1;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_json_check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    const json_value root = ygm::common::json_parser(ss.str()).parse();
+    return check(root, want_bench, want_metrics) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_json_check: parse error: %s\n", e.what());
+    return 1;
+  }
+}
