@@ -15,10 +15,27 @@
 #include "core/comm_world.hpp"
 #include "core/mailbox.hpp"
 #include "mpisim/runtime.hpp"
+#include "ser/serialize.hpp"
 
 namespace {
 
 using namespace ygm;
+
+// Rank-0 results must travel through run_collect's serialized channel:
+// with YGM_TRANSPORT=socket the rank bodies are forked processes, so
+// writing captured locals from inside the lambda would be lost.
+template <class T>
+T collect_rank0(int nranks, const std::function<T(mpisim::comm&)>& body) {
+  mpisim::run_options opts;
+  opts.nranks = nranks;
+  const auto blobs = mpisim::run_collect(opts, [&](mpisim::comm& c) {
+    const T v = body(c);
+    std::vector<std::byte> out;
+    if (c.rank() == 0) ser::append_bytes(v, out);
+    return out;
+  });
+  return ser::from_bytes<T>({blobs[0].data(), blobs[0].size()});
+}
 
 void model_curve() {
   const auto np = net::network_params::quartz_like();
@@ -71,8 +88,7 @@ void executed_pingpong() {
   bench::table t({"msg size", "round trips", "achieved rate"});
   for (std::size_t s = 1024; s <= (std::size_t{4} << 20); s *= 4) {
     const int reps = s <= 65536 ? 200 : 25;
-    double rate = 0;
-    mpisim::run(2, [&](mpisim::comm& c) {
+    const double rate = collect_rank0<double>(2, [&](mpisim::comm& c) {
       std::vector<std::byte> payload(s);
       c.barrier();
       const double t0 = c.wtime();
@@ -86,9 +102,7 @@ void executed_pingpong() {
         }
       }
       const double dt = c.wtime() - t0;
-      if (c.rank() == 0) {
-        rate = 2.0 * static_cast<double>(s) * reps / dt;
-      }
+      return c.rank() == 0 ? 2.0 * static_cast<double>(s) * reps / dt : 0.0;
     });
     t.add_row({format_bytes(static_cast<double>(s)), std::to_string(reps),
                format_rate(rate)});
@@ -109,33 +123,29 @@ void executed_mailbox_all_to_all() {
   const routing::topology topo(2, 2);
   constexpr int msgs_per_pair = 100;
   bench::table t({"msgs sent", "delivered", "wall (s)"});
-  std::uint64_t sent = 0, delivered = 0;
-  double wall = 0;
-  mpisim::run(topo.num_ranks(), [&](mpisim::comm& c) {
-    core::comm_world world(c, topo, routing::scheme_kind::nlnr);
-    std::uint64_t local_recv = 0;
-    core::mailbox<std::uint64_t> mb(
-        world, [&](const std::uint64_t&) { ++local_recv; }, 4096);
-    c.barrier();
-    const double t0 = c.wtime();
-    std::uint64_t local_sent = 0;
-    for (int i = 0; i < msgs_per_pair; ++i) {
-      for (int d = 0; d < c.size(); ++d) {
-        if (d == c.rank()) continue;
-        mb.send(d, static_cast<std::uint64_t>(i));
-        ++local_sent;
-      }
-    }
-    mb.wait_empty();
-    const double dt = c.allreduce(c.wtime() - t0, mpisim::op_max{});
-    const auto s = c.allreduce(local_sent, mpisim::op_sum{});
-    const auto r = c.allreduce(local_recv, mpisim::op_sum{});
-    if (c.rank() == 0) {
-      sent = s;
-      delivered = r;
-      wall = dt;
-    }
-  });
+  using row_t = std::tuple<std::uint64_t, std::uint64_t, double>;
+  const auto [sent, delivered, wall] =
+      collect_rank0<row_t>(topo.num_ranks(), [&](mpisim::comm& c) {
+        core::comm_world world(c, topo, routing::scheme_kind::nlnr);
+        std::uint64_t local_recv = 0;
+        core::mailbox<std::uint64_t> mb(
+            world, [&](const std::uint64_t&) { ++local_recv; }, 4096);
+        c.barrier();
+        const double t0 = c.wtime();
+        std::uint64_t local_sent = 0;
+        for (int i = 0; i < msgs_per_pair; ++i) {
+          for (int d = 0; d < c.size(); ++d) {
+            if (d == c.rank()) continue;
+            mb.send(d, static_cast<std::uint64_t>(i));
+            ++local_sent;
+          }
+        }
+        mb.wait_empty();
+        const double dt = c.allreduce(c.wtime() - t0, mpisim::op_max{});
+        const auto s = c.allreduce(local_sent, mpisim::op_sum{});
+        const auto r = c.allreduce(local_recv, mpisim::op_sum{});
+        return row_t{s, r, dt};
+      });
   t.add_row({std::to_string(sent), std::to_string(delivered),
              bench::fmt(wall)});
   t.print();

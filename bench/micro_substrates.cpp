@@ -3,18 +3,30 @@
 // packet framing, and routing-hop computation. These are the "cpu_s_per_msg"
 // terms of the network model; run them to re-calibrate
 // net::network_params on new hardware.
+//
+// Before the google-benchmark suite, an executed section measures whole
+// worlds on each transport backend (inproc threads vs. multi-process Unix
+// sockets) and reports msgs/s through the --bench-json pipeline;
+// BENCH_transport.json at the repo root is the committed baseline.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "core/comm_world.hpp"
+#include "core/mailbox.hpp"
 #include "core/packet.hpp"
 #include "graph/rmat.hpp"
 #include "linalg/csc.hpp"
+#include "mpisim/runtime.hpp"
 #include "routing/router.hpp"
 #include "ser/serialize.hpp"
+#include "transport/endpoint.hpp"
 
 namespace {
 
@@ -165,4 +177,134 @@ void BM_CscMultiply(benchmark::State& state) {
 }
 BENCHMARK(BM_CscMultiply);
 
+// ------------------------- executed per-backend substrate message rates
+//
+// Unlike the loops above, these spin up whole worlds (threads or forked
+// processes), so they run once per backend instead of under the
+// google-benchmark timer, and publish their rates with add_metric so a
+// --bench-json run captures them. The same workload runs on both backends:
+// the inproc/socket spread *is* the measurement — it prices what leaving
+// the shared address space costs per message.
+
+// (delivered msgs world-wide, payload bytes delivered, wall seconds by the
+// slowest rank) — serialized through run_collect's result channel because
+// socket rank bodies are forked processes.
+using rate_row = std::tuple<std::uint64_t, std::uint64_t, double>;
+
+rate_row collect_rate(transport::backend_kind backend, int nranks,
+                      const std::function<rate_row(mpisim::comm&)>& body) {
+  mpisim::run_options opts;
+  opts.nranks = nranks;
+  opts.backend = backend;
+  opts.chaos = mpisim::chaos_config{};  // pin faults off, ignore YGM_CHAOS
+  const auto blobs =
+      mpisim::run_collect(opts, [&](mpisim::comm& c) {
+        const rate_row r = body(c);
+        std::vector<std::byte> out;
+        if (c.rank() == 0) ser::append_bytes(r, out);
+        return out;
+      });
+  return ser::from_bytes<rate_row>({blobs[0].data(), blobs[0].size()});
+}
+
+// Raw endpoint flood: every rank sends `msgs` framed envelopes to every
+// peer, then drains. No mailbox, no routing — the bare post/recv cost.
+rate_row p2p_flood(transport::backend_kind backend, int nranks, int msgs,
+                   std::size_t payload_bytes) {
+  return collect_rate(backend, nranks, [&](mpisim::comm& c) {
+    c.barrier();
+    const double t0 = c.wtime();
+    for (int i = 0; i < msgs; ++i) {
+      for (int d = 0; d < c.size(); ++d) {
+        if (d == c.rank()) continue;
+        c.send_bytes(d, 0, std::vector<std::byte>(payload_bytes));
+      }
+    }
+    std::uint64_t recvd = 0;
+    for (int d = 0; d < c.size(); ++d) {
+      if (d == c.rank()) continue;
+      for (int i = 0; i < msgs; ++i) {
+        (void)c.recv_bytes(d, 0);
+        ++recvd;
+      }
+    }
+    const double wall = c.allreduce(c.wtime() - t0, mpisim::op_max{});
+    const auto total = c.allreduce(recvd, mpisim::op_sum{});
+    return rate_row{total, total * payload_bytes, wall};
+  });
+}
+
+// Coalesced NLNR mailbox all-to-all on a 2-node x 2-core shape: the full
+// stack (routing, packet framing, termination detection) over the backend.
+rate_row mailbox_all_to_all(transport::backend_kind backend, int msgs) {
+  const routing::topology topo(2, 2);
+  return collect_rate(backend, topo.num_ranks(), [&](mpisim::comm& c) {
+    core::comm_world world(c, topo, routing::scheme_kind::nlnr);
+    std::uint64_t local_recv = 0;
+    core::mailbox<std::uint64_t> mb(
+        world, [&](const std::uint64_t&) { ++local_recv; }, 4096);
+    c.barrier();
+    const double t0 = c.wtime();
+    for (int i = 0; i < msgs; ++i) {
+      for (int d = 0; d < c.size(); ++d) {
+        if (d == c.rank()) continue;
+        mb.send(d, static_cast<std::uint64_t>(i));
+      }
+    }
+    mb.wait_empty();
+    const double wall = c.allreduce(c.wtime() - t0, mpisim::op_max{});
+    const auto total = c.allreduce(local_recv, mpisim::op_sum{});
+    return rate_row{total, total * sizeof(std::uint64_t), wall};
+  });
+}
+
+void report_rate(bench::table& t, const std::string& backend,
+                 const std::string& workload, const rate_row& r) {
+  const auto [delivered, bytes, wall] = r;
+  const double msgs_per_sec =
+      wall > 0 ? static_cast<double>(delivered) / wall : 0;
+  const double mb_per_sec =
+      wall > 0 ? static_cast<double>(bytes) / wall / 1e6 : 0;
+  t.add_row({backend, workload, std::to_string(delivered), bench::fmt(wall),
+             bench::fmt(msgs_per_sec), bench::fmt(mb_per_sec)});
+  auto& rep = bench::json_report::instance();
+  const std::string key = "substrate." + backend + "." + workload;
+  rep.add_metric(key + ".msgs_per_sec", msgs_per_sec);
+  rep.add_metric(key + ".mb_per_sec", mb_per_sec);
+}
+
+void substrate_message_rates() {
+  bench::banner(
+      "Executed message rates per transport backend (4 ranks)",
+      "Same workloads on inproc (threads, shared memory) and socket "
+      "(forked processes, Unix-domain sockets); the spread prices the "
+      "address-space boundary per message.");
+  constexpr int p2p_msgs = 1500;       // per (rank, peer) pair
+  constexpr std::size_t p2p_bytes = 64;
+  constexpr int mbx_msgs = 2000;       // per (rank, peer) pair
+  bench::table t(
+      {"backend", "workload", "delivered", "wall (s)", "msgs/s", "MB/s"});
+  for (const auto backend :
+       {transport::backend_kind::inproc, transport::backend_kind::socket}) {
+    const std::string name(transport::to_string(backend));
+    report_rate(t, name, "p2p", p2p_flood(backend, 4, p2p_msgs, p2p_bytes));
+    report_rate(t, name, "mailbox", mailbox_all_to_all(backend, mbx_msgs));
+  }
+  t.print();
+}
+
 }  // namespace
+
+// Custom main instead of benchmark_main: the telemetry_guard owns the
+// --bench-json report and the executed substrate section runs outside the
+// google-benchmark timer. ReportUnrecognizedArguments is deliberately not
+// called — the guard's own flags (--bench-json, --trace-*, ...) stay in
+// argv and google-benchmark must tolerate them.
+int main(int argc, char** argv) {
+  const ygm::bench::telemetry_guard telemetry(argc, argv);
+  substrate_message_rates();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

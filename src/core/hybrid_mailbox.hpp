@@ -104,15 +104,22 @@ class hybrid_mailbox {
     YGM_CHECK(on_recv_ != nullptr, "mailbox requires a receive callback");
     YGM_CHECK(world.size() < packet_trace_escape,
               "world size collides with the reserved trace-annotation rank");
-    // Collective setup: publish every rank's inbox address. Node-local
-    // ranks are threads of this process, so the pointers are usable —
-    // exactly the shared address space the hybrid design assumes.
-    const auto ptrs = world.mpi().allgather(
-        reinterpret_cast<std::uintptr_t>(inbox_.get()));
-    peer_inboxes_.resize(ptrs.size());
-    for (std::size_t r = 0; r < ptrs.size(); ++r) {
-      peer_inboxes_[r] =
-          reinterpret_cast<detail::shared_inbox*>(ptrs[r]);
+    // Collective setup: publish every rank's inbox address. The hybrid
+    // design assumes node-local ranks share an address space (threads of
+    // one process); only then are the exchanged pointers usable. On a
+    // transport with per-process ranks (the socket backend) the pointers
+    // would alias foreign address spaces, so the zero-copy handoff is
+    // disabled and every hop takes the serializing remote path instead —
+    // semantics are preserved, only the copy-saving optimization is lost.
+    shared_space_ = world.mpi().get_endpoint().shared_address_space();
+    if (shared_space_) {
+      const auto ptrs = world.mpi().allgather(
+          reinterpret_cast<std::uintptr_t>(inbox_.get()));
+      peer_inboxes_.resize(ptrs.size());
+      for (std::size_t r = 0; r < ptrs.size(); ++r) {
+        peer_inboxes_[r] =
+            reinterpret_cast<detail::shared_inbox*>(ptrs[r]);
+      }
     }
   }
 
@@ -162,7 +169,7 @@ class hybrid_mailbox {
     // shared record. A remote next hop serializes in place straight into
     // the coalescing buffer — no shared_ptr, no payload vector.
     const int nh = world_->route().next_hop(world_->rank(), dest);
-    if (world_->topo().same_node(world_->rank(), nh)) {
+    if (shared_space_ && world_->topo().same_node(world_->rank(), nh)) {
       auto payload = std::make_shared<std::vector<std::byte>>();
       ser::append_bytes(m, *payload);
       detail::shared_record rec{std::move(payload), dest, false};
@@ -257,7 +264,7 @@ class hybrid_mailbox {
     YGM_ASSERT(next_hop != world_->rank());
     ++stats_.hops_sent;
     world_->virtual_charge_events(1);
-    if (world_->topo().same_node(world_->rank(), next_hop)) {
+    if (shared_space_ && world_->topo().same_node(world_->rank(), next_hop)) {
       ++shared_handoffs_;
       ++stats_.local_packets;  // one handoff ~ one (unserialized) packet
       stats_.local_bytes += rec.payload->size();
@@ -352,7 +359,10 @@ class hybrid_mailbox {
   void flush_buffer(int nh) {
     auto& buf = buffers_[static_cast<std::size_t>(nh)];
     YGM_ASSERT(!buf.empty());
-    YGM_ASSERT(world_->topo().is_remote(world_->rank(), nh));
+    // Without a shared address space every hop coalesces, node-local ones
+    // included, so the buffer's destination need not be topologically
+    // remote.
+    YGM_ASSERT(!shared_space_ || world_->topo().is_remote(world_->rank(), nh));
     ++stats_.remote_packets;
     stats_.remote_bytes += buf.size();
     telemetry::sample(telemetry::fast_histogram::remote_packet_bytes,
@@ -510,6 +520,7 @@ class hybrid_mailbox {
 
   std::unique_ptr<detail::shared_inbox> inbox_;
   std::vector<detail::shared_inbox*> peer_inboxes_;
+  bool shared_space_ = false;  // ranks share this process's address space
 
   std::vector<std::vector<std::byte>> buffers_;  // remote next hops only
   std::vector<std::uint32_t> record_counts_;

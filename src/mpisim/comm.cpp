@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/rng.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ygm::mpisim {
 
-comm::comm(world& w, std::shared_ptr<const std::vector<int>> members, int rank,
+comm::comm(transport::endpoint& ep,
+           std::shared_ptr<const std::vector<int>> members, int rank,
            std::uint64_t ctx_p2p, std::uint64_t ctx_coll)
-    : world_(&w),
+    : ep_(&ep),
       members_(std::move(members)),
       rank_(rank),
       ctx_p2p_(ctx_p2p),
@@ -18,18 +20,18 @@ comm::comm(world& w, std::shared_ptr<const std::vector<int>> members, int rank,
   YGM_CHECK(rank_ >= 0 && rank_ < size(), "rank outside communicator group");
 }
 
-double comm::wtime() const { return world_->wtime(); }
+double comm::wtime() const { return ep_->wtime(); }
 
 void comm::send_bytes(int dest, int tag, std::vector<std::byte> payload) const {
   YGM_CHECK(tag >= 0 && tag <= tag_ub, "user tag out of range");
   telemetry::add(telemetry::fast_counter::mpi_sends);
   telemetry::add(telemetry::fast_counter::mpi_send_bytes, payload.size());
-  world_->slot(world_rank_of(dest))
-      .deliver(envelope{rank_, tag, ctx_p2p_, std::move(payload)});
+  ep_->post(world_rank_of(dest),
+            envelope{rank_, tag, ctx_p2p_, std::move(payload)});
 }
 
 std::vector<std::byte> comm::recv_bytes(int src, int tag, status* st) const {
-  envelope e = world_->slot(world_rank_of(rank_)).recv_match(src, tag, ctx_p2p_);
+  envelope e = ep_->recv_match(src, tag, ctx_p2p_);
   if (st != nullptr) {
     *st = status{e.src, e.tag, e.payload.size()};
   }
@@ -41,43 +43,44 @@ std::vector<std::byte> comm::recv_bytes(int src, int tag, status* st) const {
 void comm::coll_send_bytes(int dest, int tag, std::vector<std::byte> p) const {
   telemetry::add(telemetry::fast_counter::mpi_sends);
   telemetry::add(telemetry::fast_counter::mpi_send_bytes, p.size());
-  world_->slot(world_rank_of(dest))
-      .deliver(envelope{rank_, tag, ctx_coll_, std::move(p)});
+  ep_->post(world_rank_of(dest), envelope{rank_, tag, ctx_coll_, std::move(p)});
 }
 
 std::vector<std::byte> comm::coll_recv_bytes(int src, int tag) const {
-  envelope e =
-      world_->slot(world_rank_of(rank_)).recv_match(src, tag, ctx_coll_);
+  envelope e = ep_->recv_match(src, tag, ctx_coll_);
   telemetry::add(telemetry::fast_counter::mpi_recvs);
   telemetry::add(telemetry::fast_counter::mpi_recv_bytes, e.payload.size());
   return std::move(e.payload);
 }
 
 std::optional<status> comm::iprobe(int src, int tag) const {
-  return world_->slot(world_rank_of(rank_)).iprobe(src, tag, ctx_p2p_);
+  return ep_->iprobe(src, tag, ctx_p2p_);
 }
 
 status comm::probe(int src, int tag) const {
-  return world_->slot(world_rank_of(rank_)).probe(src, tag, ctx_p2p_);
+  return ep_->probe(src, tag, ctx_p2p_);
 }
 
-std::size_t comm::pending_messages() const {
-  return world_->slot(world_rank_of(rank_)).pending();
-}
+std::size_t comm::pending_messages() const { return ep_->pending(); }
 
 void comm::barrier() const {
-  // Dissemination barrier: ceil(log2 P) rounds; in round r every rank sends
-  // a token 2^r ahead and waits for the token from 2^r behind.
   telemetry::add(telemetry::fast_counter::mpi_collectives);
-  const int p = size();
   const std::uint64_t seq = coll_seq_++;
-  int round = 0;
-  for (int k = 1; k < p; k <<= 1, ++round) {
-    const int dest = (rank_ + k) % p;
-    const int src = (rank_ - k % p + p) % p;
-    coll_send_bytes(dest, coll_tag(seq, round), {});
-    (void)coll_recv_bytes(src, coll_tag(seq, round));
-  }
+  ep_->barrier(*members_, rank_, ctx_coll_, coll_tag(seq, 0));
+}
+
+std::uint64_t comm::allreduce_sum(std::uint64_t v) const {
+  telemetry::add(telemetry::fast_counter::mpi_collectives);
+  const std::uint64_t seq = coll_seq_++;
+  return ep_->allreduce_sum(v, *members_, rank_, ctx_coll_, coll_tag(seq, 0));
+}
+
+std::uint64_t comm::derive_context(std::uint64_t seq, std::uint64_t group,
+                                   std::uint64_t plane) const {
+  std::uint64_t h = splitmix64(ctx_coll_ ^ splitmix64(seq + 1));
+  h = splitmix64(h ^ splitmix64(group + 1));
+  h = splitmix64(h ^ splitmix64(plane + 1));
+  return h | (std::uint64_t{1} << 63);
 }
 
 comm comm::split(int color, int key) const {
@@ -85,9 +88,10 @@ comm comm::split(int color, int key) const {
   const int p = size();
   constexpr int root = 0;
 
-  // Root gathers (color, key) of every rank, forms the subgroups, allocates
-  // fresh context ids (only the root allocates, so ids agree globally), and
-  // sends each member its new group description.
+  // Root gathers (color, key) of every rank, forms the subgroups, derives
+  // fresh context ids (only the root derives, so ids agree globally — they
+  // travel inside the group description), and sends each member its new
+  // group description.
   const auto pairs = gather(std::pair<int, int>{color, key}, root);
 
   const std::uint64_t seq = coll_seq_++;
@@ -108,6 +112,7 @@ comm comm::split(int color, int key) const {
     });
 
     std::size_t i = 0;
+    std::uint64_t group_index = 0;
     while (i < order.size()) {
       const int c = pairs[static_cast<std::size_t>(order[i])].first;
       std::vector<int> group_world;      // world ranks of the new group
@@ -118,8 +123,9 @@ comm comm::split(int color, int key) const {
         group_world.push_back(world_rank_of(order[i]));
         ++i;
       }
-      const std::uint64_t np2p = world_->alloc_context();
-      const std::uint64_t ncoll = world_->alloc_context();
+      const std::uint64_t np2p = derive_context(seq, group_index, 0);
+      const std::uint64_t ncoll = derive_context(seq, group_index, 1);
+      ++group_index;
       for (std::size_t j = 0; j < group_parent.size(); ++j) {
         group_desc d{group_world, static_cast<int>(j), np2p, ncoll};
         if (group_parent[j] == root) {
@@ -134,7 +140,7 @@ comm comm::split(int color, int key) const {
   }
 
   auto& [members, my_index, np2p, ncoll] = mine;
-  return comm(*world_,
+  return comm(*ep_,
               std::make_shared<const std::vector<int>>(std::move(members)),
               my_index, np2p, ncoll);
 }
@@ -144,7 +150,7 @@ comm comm::dup() const {
   const std::uint64_t seq = coll_seq_++;
   std::pair<std::uint64_t, std::uint64_t> ctxs;
   if (rank_ == root) {
-    ctxs = {world_->alloc_context(), world_->alloc_context()};
+    ctxs = {derive_context(seq, 0, 0), derive_context(seq, 0, 1)};
     for (int dest = 0; dest < size(); ++dest) {
       if (dest != root) coll_send(ctxs, dest, coll_tag(seq, 0));
     }
@@ -152,7 +158,7 @@ comm comm::dup() const {
     ctxs = coll_recv<std::pair<std::uint64_t, std::uint64_t>>(
         root, coll_tag(seq, 0));
   }
-  return comm(*world_, members_, rank_, ctxs.first, ctxs.second);
+  return comm(*ep_, members_, rank_, ctxs.first, ctxs.second);
 }
 
 }  // namespace ygm::mpisim

@@ -1,10 +1,15 @@
 // The communicator: point-to-point messaging, probing, nonblocking
 // operations, communicator splitting, and tree-based collectives.
 //
-// One comm object per rank thread per logical communicator. Typed send/recv
+// One comm object per rank per logical communicator. Typed send/recv
 // serialize through ygm::ser, so any serializable type — including
 // variable-length STL containers — can cross rank boundaries, mirroring
 // MPI + cereal in the paper.
+//
+// comm is backend-agnostic: all traffic flows through a
+// transport::endpoint (inproc threads or multi-process sockets), and the
+// collective entry points delegate to the endpoint's collective hooks so a
+// backend with a native fabric can specialize them.
 #pragma once
 
 #include <cstdint>
@@ -15,18 +20,20 @@
 
 #include "common/assert.hpp"
 #include "core/buffer_pool.hpp"  // sanctioned upward include (src/CMakeLists.txt)
+#include "mpisim/envelope.hpp"
 #include "mpisim/ops.hpp"
 #include "mpisim/request.hpp"
 #include "mpisim/types.hpp"
-#include "mpisim/world.hpp"
 #include "ser/serialize.hpp"
+#include "transport/endpoint.hpp"
 
 namespace ygm::mpisim {
 
 class comm {
  public:
   /// Constructed by runtime::run (world communicator) or by split()/dup().
-  comm(world& w, std::shared_ptr<const std::vector<int>> members, int rank,
+  comm(transport::endpoint& ep,
+       std::shared_ptr<const std::vector<int>> members, int rank,
        std::uint64_t ctx_p2p, std::uint64_t ctx_coll);
 
   int rank() const noexcept { return rank_; }
@@ -91,8 +98,13 @@ class comm {
   // communicator (the usual MPI contract). They run on a dedicated context
   // so they never interfere with user point-to-point traffic.
 
-  /// Dissemination barrier, O(log P) rounds.
+  /// Dissemination barrier, O(log P) rounds. Delegates to the transport's
+  /// barrier hook.
   void barrier() const;
+
+  /// Global sum of a u64, via the transport's allreduce hook (the shape the
+  /// mailbox termination detector consumes).
+  std::uint64_t allreduce_sum(std::uint64_t v) const;
 
   /// Binomial-tree broadcast of a serializable value.
   template <class T>
@@ -149,8 +161,8 @@ class comm {
   /// A new communicator with the same group, like MPI_Comm_dup.
   comm dup() const;
 
-  /// The underlying shared world (used by runtime glue and tests).
-  world& get_world() const noexcept { return *world_; }
+  /// The underlying transport endpoint (used by runtime glue and tests).
+  transport::endpoint& get_endpoint() const noexcept { return *ep_; }
 
  private:
   // Tag for round `round` of the `coll_seq_`-th collective on this comm.
@@ -158,6 +170,18 @@ class comm {
     return static_cast<int>(((seq << 6) | static_cast<unsigned>(round)) &
                             static_cast<unsigned>(tag_ub));
   }
+
+  // Context id for a communicator derived from this one: a splitmix64 chain
+  // over (parent collective context, collective seq, subgroup index, plane)
+  // with the high bit forced so derived ids can never collide with the
+  // world's fixed low-numbered contexts. Root computes these and *ships*
+  // them inside the group description, so cross-rank agreement comes from
+  // the message, not from every rank re-deriving; derivation only has to be
+  // unique across live communicators, which 63 hashed bits give w.h.p.
+  // (The old implementation bumped a per-world counter, which cannot work
+  // once ranks are separate processes.)
+  std::uint64_t derive_context(std::uint64_t seq, std::uint64_t group,
+                               std::uint64_t plane) const;
 
   void coll_send_bytes(int dest, int tag, std::vector<std::byte> p) const;
   std::vector<std::byte> coll_recv_bytes(int src, int tag) const;
@@ -181,7 +205,7 @@ class comm {
     return (*members_)[static_cast<std::size_t>(group_rank)];
   }
 
-  world* world_;
+  transport::endpoint* ep_;
   std::shared_ptr<const std::vector<int>> members_;  // group -> world rank
   int rank_;                                         // my group rank
   std::uint64_t ctx_p2p_;
@@ -195,15 +219,15 @@ class comm {
 
 template <class T>
 request comm::irecv(T& out, int src, int tag) const {
-  auto* slot = &world_->slot(world_rank_of(rank_));
+  transport::endpoint* ep = ep_;
   const std::uint64_t ctx = ctx_p2p_;
-  return request{[slot, &out, src, tag, ctx](bool block) {
+  return request{[ep, &out, src, tag, ctx](bool block) {
     if (block) {
-      envelope e = slot->recv_match(src, tag, ctx);
+      envelope e = ep->recv_match(src, tag, ctx);
       out = ser::from_bytes<T>(e.payload);
       return true;
     }
-    auto e = slot->try_recv_match(src, tag, ctx);
+    auto e = ep->try_recv_match(src, tag, ctx);
     if (!e) return false;
     out = ser::from_bytes<T>(e->payload);
     return true;

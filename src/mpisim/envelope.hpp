@@ -1,21 +1,12 @@
-// The in-flight message representation of the mpisim runtime.
+// Compatibility shim: envelope moved to the transport substrate
+// (src/transport/envelope.hpp); mpisim re-exports it so existing call sites
+// keep compiling.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <vector>
+#include "transport/envelope.hpp"
 
 namespace ygm::mpisim {
 
-/// A message in a rank's incoming queue. Sends are eager: the sender
-/// serializes the payload and appends the envelope to the destination's
-/// mail_slot, so a send never blocks (mirroring MPI's buffered/eager path;
-/// the scales this repo runs at keep queues comfortably in memory).
-struct envelope {
-  int src = -1;              ///< sender's group rank within the communicator
-  int tag = -1;              ///< user or collective tag
-  std::uint64_t ctx = 0;     ///< communicator context id (segregates comms)
-  std::vector<std::byte> payload;
-};
+using transport::envelope;
 
 }  // namespace ygm::mpisim

@@ -1,120 +1,12 @@
-// Per-rank incoming-message queue with MPI-style matching.
+// Compatibility shim: the mail-slot matching engine moved to the transport
+// substrate (src/transport/mail_slot.hpp) so both backends share it; mpisim
+// re-exports it so existing call sites keep compiling.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <mutex>
-#include <optional>
-#include <unordered_map>
-
-#include "mpisim/chaos.hpp"
-#include "mpisim/envelope.hpp"
-#include "mpisim/types.hpp"
+#include "transport/mail_slot.hpp"
 
 namespace ygm::mpisim {
 
-/// One rank's incoming mailbox. Senders call deliver(); the owning rank
-/// matches messages by (source, tag, context), with any_source/any_tag
-/// wildcards. Matching scans the queue in arrival order, which preserves
-/// MPI's non-overtaking guarantee per (source, context): messages from one
-/// sender are delivered in the order they were sent.
-///
-/// With a chaos config installed (world::set_chaos), the slot additionally
-/// injects MPI-legal adversity: arriving messages may stay invisible to
-/// matching for a bounded number of this rank's matching operations
-/// (per-source order preserved, cross-source order scrambled), iprobe may
-/// report false negatives a bounded number of times in a row, and messaging
-/// operations may stall briefly. All decisions are hashes of
-/// (seed, rank, source, context, stream index), so a seed reproduces the
-/// same fault pattern for the same message streams.
-///
-/// abort() poisons the slot so that a rank blocked in recv/probe wakes up
-/// and throws instead of deadlocking when another rank dies with an
-/// exception.
-class mail_slot {
- public:
-  /// Enqueue a message (called by sender threads).
-  void deliver(envelope&& e);
-
-  /// Blocking matched receive; removes and returns the first match.
-  /// Throws ygm::error if the world has been aborted.
-  envelope recv_match(int src, int tag, std::uint64_t ctx);
-
-  /// Nonblocking matched receive.
-  std::optional<envelope> try_recv_match(int src, int tag, std::uint64_t ctx);
-
-  /// Nonblocking probe: peek at the first match without removing it. Under
-  /// chaos this is the only operation allowed to lie (bounded false
-  /// negatives).
-  std::optional<status> iprobe(int src, int tag, std::uint64_t ctx);
-
-  /// Blocking probe.
-  status probe(int src, int tag, std::uint64_t ctx);
-
-  /// Number of queued (unreceived) messages, across all contexts. Counts
-  /// chaos-delayed messages too (they have been sent, just not yet "seen").
-  std::size_t pending() const;
-
-  /// Install fault injection for this slot; `owner_rank` diversifies the
-  /// per-rank hash streams. Must be called before any traffic flows
-  /// (runtime::run does this during world setup).
-  void configure_chaos(const chaos_config& cfg, int owner_rank);
-
-  /// Wake all blocked operations with an error (world teardown on failure).
-  void abort();
-
- private:
-  struct queued {
-    envelope env;
-    std::uint64_t visible_at = 0;  ///< tick at which matching may see it
-  };
-
-  /// Per-(source, context) chaos bookkeeping: how many messages this stream
-  /// has delivered (the deterministic per-message index) and the visibility
-  /// deadline of its latest message (non-overtaking clamp).
-  struct stream_state {
-    std::uint64_t arrivals = 0;
-    std::uint64_t last_visible_at = 0;
-  };
-
-  static bool matches(const envelope& e, int src, int tag, std::uint64_t ctx) {
-    return e.ctx == ctx && (src == any_source || e.src == src) &&
-           (tag == any_tag || e.tag == tag);
-  }
-
-  /// First *visible* match in q_ (npos when none), plus whether a matching
-  /// message exists that is merely chaos-delayed — blocked callers use that
-  /// to age the delay with a timed wait instead of sleeping forever.
-  struct match_result {
-    std::size_t index;
-    bool delayed_match;
-  };
-  match_result find_match_locked(int src, int tag, std::uint64_t ctx) const;
-
-  /// Advance this rank's matching-operation clock (matures delayed
-  /// messages). Caller holds mtx_.
-  void tick_locked() { ++clock_; }
-
-  /// Maybe sleep (scheduling jitter). Called WITHOUT mtx_ held.
-  void maybe_stall();
-
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
-  mutable std::mutex mtx_;
-  mutable std::condition_variable cv_;
-  std::deque<queued> q_;
-  bool aborted_ = false;
-
-  // ------------------------------------------------------------- chaos
-  chaos_config chaos_{};  // default: everything off
-  int rank_ = 0;
-  std::uint64_t clock_ = 0;    ///< matching operations performed
-  std::uint32_t misses_ = 0;   ///< consecutive iprobe false negatives
-  std::uint64_t probe_draws_ = 0;  ///< eligible iprobe miss draws taken
-  std::unordered_map<std::uint64_t, stream_state> streams_;
-  std::atomic<std::uint64_t> stall_draws_{0};
-};
+using transport::mail_slot;
 
 }  // namespace ygm::mpisim

@@ -4,23 +4,29 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
-#include <optional>
 #include <thread>
-#include <vector>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "telemetry/telemetry.hpp"
+#include "transport/inproc/fabric.hpp"
+#include "transport/socket/launch.hpp"
 
 namespace ygm::mpisim {
 
 namespace {
 
-void run_impl(int nranks, const chaos_config* chaos,
-              const std::function<void(comm&)>& fn) {
-  YGM_CHECK(nranks > 0, "run() requires a positive rank count");
+std::shared_ptr<const std::vector<int>> world_members(int nranks) {
+  std::vector<int> m(static_cast<std::size_t>(nranks));
+  std::iota(m.begin(), m.end(), 0);
+  return std::make_shared<const std::vector<int>>(std::move(m));
+}
 
-  world w(nranks);
-  if (chaos != nullptr && chaos->enabled()) w.set_chaos(*chaos);
+std::vector<std::vector<std::byte>> run_inproc(
+    int nranks, const std::optional<chaos_config>& chaos,
+    const std::function<std::vector<std::byte>(comm&)>& fn) {
+  transport::inproc::fabric fab(nranks);
+  if (chaos && chaos->enabled()) fab.set_chaos(*chaos);
 
   // With a telemetry session installed, every rank thread records onto its
   // own (world, rank) lane; the top-level "rank.main" span covers the whole
@@ -29,14 +35,12 @@ void run_impl(int nranks, const chaos_config* chaos,
   telemetry::session* const tsess = telemetry::global();
   const int tworld = tsess != nullptr ? tsess->begin_world(nranks) : -1;
 
-  auto members = std::make_shared<const std::vector<int>>([&] {
-    std::vector<int> m(static_cast<std::size_t>(nranks));
-    std::iota(m.begin(), m.end(), 0);
-    return m;
-  }());
+  const auto members = world_members(nranks);
 
   std::mutex err_mtx;
   std::exception_ptr first_error;
+  std::vector<std::vector<std::byte>> results(
+      static_cast<std::size_t>(nranks));
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -45,38 +49,99 @@ void run_impl(int nranks, const chaos_config* chaos,
       std::optional<telemetry::rank_scope> tscope;
       if (tsess != nullptr) tscope.emplace(*tsess, tworld, r);
       telemetry::span rank_span("rank.main");
-      comm c(w, members, r, world::world_context, world::world_context + 1);
+      // The endpoint lives inside the span and the rank scope: its
+      // destructor publishes transport counters onto this rank's lane.
+      transport::inproc::endpoint ep(fab, r);
+      comm c(ep, members, r, transport::world_context,
+             transport::world_context + 1);
       try {
-        fn(c);
+        results[static_cast<std::size_t>(r)] = fn(c);
       } catch (...) {
         {
           std::lock_guard lock(err_mtx);
           if (!first_error) first_error = std::current_exception();
         }
-        w.abort_all();
+        ep.abort_world();
       }
     });
   }
   for (auto& t : threads) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<std::vector<std::byte>> run_socket(
+    int nranks, const std::optional<chaos_config>& chaos,
+    const std::string& socket_dir,
+    const std::function<std::vector<std::byte>(comm&)>& fn) {
+  // launch() owns forking, rendezvous, telemetry lane shipping, and error
+  // propagation; the body here only builds the world communicator on the
+  // endpoint it is handed.
+  return transport::socket::launch(
+      nranks, chaos, socket_dir, [&fn](transport::endpoint& ep) {
+        const auto members = world_members(ep.world_size());
+        comm c(ep, members, ep.world_rank(), transport::world_context,
+               transport::world_context + 1);
+        return fn(c);
+      });
+}
+
+std::vector<std::vector<std::byte>> run_collect_impl(
+    const run_options& opts,
+    const std::function<std::vector<std::byte>(comm&)>& fn) {
+  YGM_CHECK(opts.nranks > 0, "run() requires a positive rank count");
+
+  // Environment-driven chaos lets the whole existing suite be rerun under
+  // fault injection without touching a single call site; an explicit config
+  // wins over the environment.
+  std::optional<chaos_config> chaos = opts.chaos;
+  if (!chaos) chaos = chaos_config::from_env();
+
+  const transport::backend_kind backend =
+      opts.backend ? *opts.backend : transport::backend_from_env();
+
+  switch (backend) {
+    case transport::backend_kind::socket:
+      return run_socket(opts.nranks, chaos, opts.socket_dir, fn);
+    case transport::backend_kind::inproc:
+      break;
+  }
+  return run_inproc(opts.nranks, chaos, fn);
+}
+
+std::function<std::vector<std::byte>(comm&)> discard_result(
+    const std::function<void(comm&)>& fn) {
+  return [&fn](comm& c) {
+    fn(c);
+    return std::vector<std::byte>{};
+  };
 }
 
 }  // namespace
 
 void run(int nranks, const std::function<void(comm&)>& fn) {
-  // Environment-driven chaos lets the whole existing suite be rerun under
-  // fault injection without touching a single call site.
-  if (const auto env_chaos = chaos_config::from_env()) {
-    run_impl(nranks, &*env_chaos, fn);
-    return;
-  }
-  run_impl(nranks, nullptr, fn);
+  run_options opts;
+  opts.nranks = nranks;
+  (void)run_collect_impl(opts, discard_result(fn));
 }
 
 void run(int nranks, const chaos_config& chaos,
          const std::function<void(comm&)>& fn) {
-  run_impl(nranks, &chaos, fn);
+  run_options opts;
+  opts.nranks = nranks;
+  opts.chaos = chaos;
+  (void)run_collect_impl(opts, discard_result(fn));
+}
+
+void run(const run_options& opts, const std::function<void(comm&)>& fn) {
+  (void)run_collect_impl(opts, discard_result(fn));
+}
+
+std::vector<std::vector<std::byte>> run_collect(
+    const run_options& opts,
+    const std::function<std::vector<std::byte>(comm&)>& fn) {
+  return run_collect_impl(opts, fn);
 }
 
 }  // namespace ygm::mpisim

@@ -1,29 +1,64 @@
-// Entry point of the mpisim runtime: spawn N rank threads, run a rank
-// function in each, propagate failures.
+// Entry point of the mpisim runtime: run a rank function on N ranks over a
+// chosen transport backend, propagate failures.
+//
+// Backends (src/transport/): `inproc` spawns N rank threads inside this
+// process (the original simulator); `socket` forks N OS processes connected
+// by Unix-domain sockets. The backend is a runtime choice — an explicit
+// run_options field, else the YGM_TRANSPORT environment variable, else
+// inproc.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "mpisim/chaos.hpp"
 #include "mpisim/comm.hpp"
+#include "transport/endpoint.hpp"
 
 namespace ygm::mpisim {
 
-/// Run `fn(world_comm)` on `nranks` rank threads, like
-/// `mpirun -n <nranks>`. Blocks until every rank returns.
+/// Knobs for a run. Default-constructed options reproduce the historical
+/// behaviour: inproc unless YGM_TRANSPORT says otherwise, chaos from the
+/// YGM_CHAOS* environment.
+struct run_options {
+  int nranks = 1;
+  /// Backend to run on; nullopt defers to YGM_TRANSPORT (default inproc).
+  std::optional<transport::backend_kind> backend;
+  /// Fault injection; nullopt defers to the YGM_CHAOS* environment
+  /// (docs/CHAOS.md). An explicit config overrides the environment.
+  std::optional<chaos_config> chaos;
+  /// Socket backend only: rendezvous directory ("" = fresh mkdtemp under
+  /// $TMPDIR, removed after the run).
+  std::string socket_dir;
+};
+
+/// Run `fn(world_comm)` on `nranks` ranks, like `mpirun -n <nranks>`.
+/// Blocks until every rank returns.
 ///
 /// If any rank throws, the world is aborted: ranks blocked in communication
-/// wake with ygm::error, all threads are joined, and the first rank's
-/// exception is rethrown here. This keeps failing tests from deadlocking.
-///
-/// If YGM_CHAOS* environment variables are set (docs/CHAOS.md), the
-/// corresponding fault injection is applied to the run — this is how the
-/// regular suite is rerun under chaos without code changes.
+/// wake with ygm::error, every rank is joined/reaped, and the first rank's
+/// exception (socket backend: its message) is rethrown here. This keeps
+/// failing tests from deadlocking.
 void run(int nranks, const std::function<void(comm&)>& fn);
 
 /// As above, with explicit seeded fault injection installed on the world
 /// before any rank starts (overrides the environment).
 void run(int nranks, const chaos_config& chaos,
          const std::function<void(comm&)>& fn);
+
+/// Fully-specified variant.
+void run(const run_options& opts, const std::function<void(comm&)>& fn);
+
+/// Run a rank function that returns a byte blob; returns one blob per rank,
+/// ordered by rank. This is the cross-backend result channel: on inproc the
+/// blobs are moved across threads, on socket they are shipped over the
+/// result pipe — callers serialize with ygm::ser and cannot rely on shared
+/// memory with the rank bodies.
+std::vector<std::vector<std::byte>> run_collect(
+    const run_options& opts,
+    const std::function<std::vector<std::byte>(comm&)>& fn);
 
 }  // namespace ygm::mpisim

@@ -1,34 +1,16 @@
-// Shared constants and small value types for the MPI-like runtime.
-//
-// mpisim replaces MPI in this reproduction (no MPI implementation is
-// available in the build environment — see DESIGN.md §2). It implements the
-// subset of MPI semantics YGM relies on: eager buffered point-to-point sends
-// with per-(source,destination,context) non-overtaking order, tag matching
-// with wildcards, probing, nonblocking requests, communicator splitting, and
-// tree-based collectives. Ranks are threads within one process; each rank's
-// "address space" is by convention the state it allocates in its rank
-// function.
+// Compatibility shim: these types moved to the transport substrate
+// (src/transport/types.hpp) when the communication backends were split out
+// behind transport::endpoint; mpisim re-exports them so existing call sites
+// keep compiling.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
+#include "transport/types.hpp"
 
 namespace ygm::mpisim {
 
-/// Wildcard source for recv/probe, like MPI_ANY_SOURCE.
-inline constexpr int any_source = -1;
-
-/// Wildcard tag for recv/probe, like MPI_ANY_TAG.
-inline constexpr int any_tag = -1;
-
-/// Largest tag available to user code, like MPI_TAG_UB.
-inline constexpr int tag_ub = (1 << 24) - 1;
-
-/// Result of a completed receive or probe, like MPI_Status.
-struct status {
-  int source = any_source;       ///< group rank of the sender
-  int tag = any_tag;             ///< tag of the matched message
-  std::size_t byte_count = 0;    ///< payload size in bytes
-};
+using transport::any_source;
+using transport::any_tag;
+using transport::status;
+using transport::tag_ub;
 
 }  // namespace ygm::mpisim

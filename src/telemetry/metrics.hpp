@@ -68,6 +68,29 @@ class histogram {
     return max();
   }
 
+  /// Raw bucket counts, for serialization (cross-process lane shipping —
+  /// the socket transport forwards each child rank's registry to the parent
+  /// session).
+  const std::array<std::uint64_t, num_buckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Rebuild a histogram from serialized parts; the inverse of reading
+  /// buckets()/count()/sum()/min()/max(). Intended for merge() on arrival.
+  static histogram from_parts(
+      const std::array<std::uint64_t, num_buckets>& buckets,
+      std::uint64_t count, double sum, double min, double max) noexcept {
+    histogram h;
+    h.buckets_ = buckets;
+    h.count_ = count;
+    h.sum_ = sum;
+    if (count != 0) {
+      h.min_ = min;
+      h.max_ = max;
+    }
+    return h;
+  }
+
   void merge(const histogram& o) noexcept {
     for (int b = 0; b < num_buckets; ++b) {
       buckets_[static_cast<std::size_t>(b)] +=

@@ -1,10 +1,10 @@
-#include "mpisim/chaos.hpp"
+#include "transport/chaos.hpp"
 
 #include <cstdlib>
 #include <sstream>
 #include <string>
 
-namespace ygm::mpisim {
+namespace ygm::transport {
 
 chaos_config chaos_config::light(std::uint64_t seed) {
   chaos_config c;
@@ -89,4 +89,4 @@ std::string chaos_config::describe() const {
   return oss.str();
 }
 
-}  // namespace ygm::mpisim
+}  // namespace ygm::transport

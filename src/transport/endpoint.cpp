@@ -1,0 +1,136 @@
+#include "transport/endpoint.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/assert.hpp"
+#include "core/buffer_pool.hpp"  // sanctioned upward include (src/CMakeLists.txt)
+#include "ser/serialize.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ygm::transport {
+
+std::string_view to_string(backend_kind k) noexcept {
+  switch (k) {
+    case backend_kind::inproc:
+      return "inproc";
+    case backend_kind::socket:
+      return "socket";
+  }
+  return "?";
+}
+
+std::optional<backend_kind> backend_from_name(std::string_view name) noexcept {
+  if (name == "inproc") return backend_kind::inproc;
+  if (name == "socket") return backend_kind::socket;
+  return std::nullopt;
+}
+
+backend_kind backend_from_env() {
+  const char* v = std::getenv("YGM_TRANSPORT");
+  if (v == nullptr || *v == '\0') return backend_kind::inproc;
+  const auto k = backend_from_name(v);
+  YGM_CHECK(k.has_value(), std::string("unknown YGM_TRANSPORT backend '") +
+                               v + "' (expected inproc | socket)");
+  return *k;
+}
+
+void endpoint::post(int dest, envelope&& e) {
+  ++stats_.posts;
+  stats_.post_bytes += e.payload.size();
+  peer(dest).post(std::move(e));
+}
+
+void endpoint::barrier(const std::vector<int>& members, int me,
+                       std::uint64_t ctx, int base_tag) {
+  // Dissemination barrier: ceil(log2 P) rounds; in round r every rank sends
+  // a token 2^r ahead and waits for the token from 2^r behind. Token sends
+  // count as mpi.sends/recvs exactly like the comm-layer collectives they
+  // replace, so metric totals are backend-invariant.
+  const int p = static_cast<int>(members.size());
+  int round = 0;
+  for (int k = 1; k < p; k <<= 1, ++round) {
+    const int dest = (me + k) % p;
+    const int src = (me - k % p + p) % p;
+    telemetry::add(telemetry::fast_counter::mpi_sends);
+    post(members[static_cast<std::size_t>(dest)],
+         envelope{me, base_tag + round, ctx, {}});
+    envelope e = recv_match(src, base_tag + round, ctx);
+    telemetry::add(telemetry::fast_counter::mpi_recvs);
+    telemetry::add(telemetry::fast_counter::mpi_recv_bytes, e.payload.size());
+  }
+}
+
+namespace {
+
+std::uint64_t decode_u64(const envelope& e) {
+  return ser::from_bytes<std::uint64_t>({e.payload.data(), e.payload.size()});
+}
+
+}  // namespace
+
+std::uint64_t endpoint::allreduce_sum(std::uint64_t v,
+                                      const std::vector<int>& members, int me,
+                                      std::uint64_t ctx, int base_tag) {
+  const int p = static_cast<int>(members.size());
+  const auto send_u64 = [&](std::uint64_t x, int dest_group, int tag) {
+    auto buf = core::buffer_pool::local().acquire();
+    ser::append_bytes(x, buf);
+    telemetry::add(telemetry::fast_counter::mpi_sends);
+    telemetry::add(telemetry::fast_counter::mpi_send_bytes, buf.size());
+    post(members[static_cast<std::size_t>(dest_group)],
+         envelope{me, tag, ctx, std::move(buf)});
+  };
+  const auto recv_u64 = [&](int src_group, int tag) {
+    envelope e = recv_match(src_group, tag, ctx);
+    telemetry::add(telemetry::fast_counter::mpi_recvs);
+    telemetry::add(telemetry::fast_counter::mpi_recv_bytes, e.payload.size());
+    const std::uint64_t x = decode_u64(e);
+    core::buffer_pool::local().release(std::move(e.payload));
+    return x;
+  };
+
+  // Binomial reduce to group rank 0 ...
+  std::uint64_t acc = v;
+  int mask = 1;
+  while (mask < p) {
+    if ((me & mask) == 0) {
+      const int peer_rank = me | mask;
+      if (peer_rank < p) acc += recv_u64(peer_rank, base_tag);
+    } else {
+      send_u64(acc, me & ~mask, base_tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // ... then binomial broadcast of the total back out (tag block +1 keeps
+  // the two phases unambiguous even at P = 2).
+  mask = 1;
+  while (mask < p) mask <<= 1;
+  if (me != 0) {
+    int m = 1;
+    while ((me & m) == 0) m <<= 1;
+    acc = recv_u64(me & ~m, base_tag + 1);
+    mask = m;
+  }
+  for (int m = mask >> 1; m > 0; m >>= 1) {
+    if ((me & (m - 1)) == 0 && (me | m) < p && (me & m) == 0) {
+      send_u64(acc, me | m, base_tag + 1);
+    }
+  }
+  return acc;
+}
+
+void endpoint::publish_stats(std::uint64_t iprobe_calls,
+                             std::uint64_t iprobe_draws,
+                             std::uint64_t iprobe_misses) const {
+  const std::string prefix = std::string("transport.") +
+                             std::string(to_string(kind())) + ".";
+  telemetry::count(prefix + "posts", stats_.posts);
+  telemetry::count(prefix + "post_bytes", stats_.post_bytes);
+  telemetry::count(prefix + "iprobe_calls", iprobe_calls);
+  telemetry::count(prefix + "iprobe_draws", iprobe_draws);
+  telemetry::count(prefix + "iprobe_misses", iprobe_misses);
+}
+
+}  // namespace ygm::transport

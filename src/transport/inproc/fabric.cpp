@@ -1,0 +1,79 @@
+#include "transport/inproc/fabric.hpp"
+
+#include "common/assert.hpp"
+
+namespace ygm::transport::inproc {
+
+fabric::fabric(int nranks) {
+  YGM_CHECK(nranks > 0, "fabric size must be positive");
+  slots_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    slots_.push_back(std::make_unique<mail_slot>());
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void fabric::set_chaos(const chaos_config& cfg) {
+  chaos_ = cfg;
+  for (int r = 0; r < size(); ++r) {
+    slots_[static_cast<std::size_t>(r)]->configure_chaos(cfg, r);
+  }
+}
+
+mail_slot& fabric::slot(int world_rank) {
+  YGM_ASSERT(world_rank >= 0 && world_rank < size());
+  return *slots_[static_cast<std::size_t>(world_rank)];
+}
+
+double fabric::wtime() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - epoch_).count();
+}
+
+void fabric::abort_all() {
+  bool expected = false;
+  if (aborted_.compare_exchange_strong(expected, true)) {
+    for (auto& s : slots_) s->abort();
+  }
+}
+
+endpoint::endpoint(fabric& f, int rank)
+    : fabric_(&f), rank_(rank), slot_(&f.slot(rank)) {
+  channels_.reserve(static_cast<std::size_t>(f.size()));
+  for (int d = 0; d < f.size(); ++d) channels_.emplace_back(&f, d);
+}
+
+endpoint::~endpoint() {
+  const auto probes = slot_->probe_stats();
+  publish_stats(probes.iprobe_calls, probes.draws, probes.misses);
+}
+
+transport::channel& endpoint::peer(int dest) {
+  YGM_ASSERT(dest >= 0 && dest < world_size());
+  return channels_[static_cast<std::size_t>(dest)];
+}
+
+envelope endpoint::recv_match(int src, int tag, std::uint64_t ctx) {
+  return slot_->recv_match(src, tag, ctx);
+}
+
+std::optional<envelope> endpoint::try_recv_match(int src, int tag,
+                                                 std::uint64_t ctx) {
+  return slot_->try_recv_match(src, tag, ctx);
+}
+
+std::optional<status> endpoint::iprobe(int src, int tag, std::uint64_t ctx) {
+  return slot_->iprobe(src, tag, ctx);
+}
+
+status endpoint::probe(int src, int tag, std::uint64_t ctx) {
+  return slot_->probe(src, tag, ctx);
+}
+
+std::size_t endpoint::pending() { return slot_->pending(); }
+
+double endpoint::wtime() const { return fabric_->wtime(); }
+
+void endpoint::abort_world() { fabric_->abort_all(); }
+
+}  // namespace ygm::transport::inproc

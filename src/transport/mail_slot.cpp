@@ -1,4 +1,4 @@
-#include "mpisim/mail_slot.hpp"
+#include "transport/mail_slot.hpp"
 
 #include <chrono>
 #include <thread>
@@ -6,7 +6,7 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 
-namespace ygm::mpisim {
+namespace ygm::transport {
 
 namespace {
 
@@ -97,7 +97,7 @@ envelope mail_slot::recv_match(int src, int tag, std::uint64_t ctx) {
   maybe_stall();
   std::unique_lock lock(mtx_);
   for (;;) {
-    YGM_CHECK(!aborted_, "mpisim world aborted while blocked in recv");
+    YGM_CHECK(!aborted_, "transport world aborted while blocked in recv");
     tick_locked();
     const auto m = find_match_locked(src, tag, ctx);
     if (m.index != npos) {
@@ -117,11 +117,13 @@ envelope mail_slot::recv_match(int src, int tag, std::uint64_t ctx) {
 }
 
 std::optional<envelope> mail_slot::try_recv_match(int src, int tag,
-                                                  std::uint64_t ctx) {
+                                                  std::uint64_t ctx,
+                                                  bool* delayed_match) {
   std::lock_guard lock(mtx_);
-  YGM_CHECK(!aborted_, "mpisim world aborted");
+  YGM_CHECK(!aborted_, "transport world aborted");
   tick_locked();
   const auto m = find_match_locked(src, tag, ctx);
+  if (delayed_match != nullptr) *delayed_match = m.delayed_match;
   if (m.index == npos) return std::nullopt;
   envelope e = std::move(q_[m.index].env);
   q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(m.index));
@@ -131,8 +133,9 @@ std::optional<envelope> mail_slot::try_recv_match(int src, int tag,
 std::optional<status> mail_slot::iprobe(int src, int tag, std::uint64_t ctx) {
   maybe_stall();
   std::lock_guard lock(mtx_);
-  YGM_CHECK(!aborted_, "mpisim world aborted");
+  YGM_CHECK(!aborted_, "transport world aborted");
   tick_locked();
+  ++iprobe_calls_;
   const auto m = find_match_locked(src, tag, ctx);
   if (m.index == npos) return std::nullopt;
   if (chaos_.probe_misses_active() &&
@@ -147,6 +150,7 @@ std::optional<status> mail_slot::iprobe(int src, int tag, std::uint64_t ctx) {
       // MPI-legal weak progress: report no message although one is
       // matchable. The consecutive-miss cap keeps repeated probing live.
       ++misses_;
+      ++miss_total_;
       return std::nullopt;
     }
   }
@@ -155,11 +159,23 @@ std::optional<status> mail_slot::iprobe(int src, int tag, std::uint64_t ctx) {
   return status{e.src, e.tag, e.payload.size()};
 }
 
+std::optional<status> mail_slot::try_probe(int src, int tag, std::uint64_t ctx,
+                                           bool* delayed_match) {
+  std::lock_guard lock(mtx_);
+  YGM_CHECK(!aborted_, "transport world aborted");
+  tick_locked();
+  const auto m = find_match_locked(src, tag, ctx);
+  if (delayed_match != nullptr) *delayed_match = m.delayed_match;
+  if (m.index == npos) return std::nullopt;
+  const envelope& e = q_[m.index].env;
+  return status{e.src, e.tag, e.payload.size()};
+}
+
 status mail_slot::probe(int src, int tag, std::uint64_t ctx) {
   maybe_stall();
   std::unique_lock lock(mtx_);
   for (;;) {
-    YGM_CHECK(!aborted_, "mpisim world aborted while blocked in probe");
+    YGM_CHECK(!aborted_, "transport world aborted while blocked in probe");
     tick_locked();
     const auto m = find_match_locked(src, tag, ctx);
     if (m.index != npos) {
@@ -187,4 +203,9 @@ void mail_slot::abort() {
   cv_.notify_all();
 }
 
-}  // namespace ygm::mpisim
+mail_slot::probe_counters mail_slot::probe_stats() const {
+  std::lock_guard lock(mtx_);
+  return probe_counters{iprobe_calls_, probe_draws_, miss_total_};
+}
+
+}  // namespace ygm::transport

@@ -1,0 +1,154 @@
+// Per-rank incoming-message queue with MPI-style matching.
+//
+// This is the matching engine both transport backends share: the inproc
+// backend delivers into it from sender threads, the socket backend delivers
+// into it from its progress pump as frames complete. Keeping one engine
+// keeps the matching semantics — and the chaos fault patterns, which hash
+// from slot-local state — bitwise identical across backends.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "transport/chaos.hpp"
+#include "transport/envelope.hpp"
+#include "transport/types.hpp"
+
+namespace ygm::transport {
+
+/// One rank's incoming mailbox. Senders call deliver(); the owning rank
+/// matches messages by (source, tag, context), with any_source/any_tag
+/// wildcards. Matching scans the queue in arrival order, which preserves
+/// MPI's non-overtaking guarantee per (source, context): messages from one
+/// sender are delivered in the order they were sent.
+///
+/// With a chaos config installed (configure_chaos), the slot additionally
+/// injects MPI-legal adversity: arriving messages may stay invisible to
+/// matching for a bounded number of this rank's matching operations
+/// (per-source order preserved, cross-source order scrambled), iprobe may
+/// report false negatives a bounded number of times in a row, and messaging
+/// operations may stall briefly. All decisions are hashes of
+/// (seed, rank, source, context, stream index), so a seed reproduces the
+/// same fault pattern for the same message streams.
+///
+/// abort() poisons the slot so that a rank blocked in recv/probe wakes up
+/// and throws instead of deadlocking when another rank dies with an
+/// exception.
+class mail_slot {
+ public:
+  /// Enqueue a message (called by sender threads or the backend's wire
+  /// pump).
+  void deliver(envelope&& e);
+
+  /// Blocking matched receive; removes and returns the first match.
+  /// Throws ygm::error if the world has been aborted. Only usable when
+  /// deliverers run concurrently with the receiver (inproc backend); a
+  /// single-threaded backend drives try_recv_match from its progress loop
+  /// instead.
+  envelope recv_match(int src, int tag, std::uint64_t ctx);
+
+  /// Nonblocking matched receive. When `delayed_match` is non-null it is
+  /// set to true iff a matching message exists that is merely
+  /// chaos-delayed — a polling backend uses that to tick the clock promptly
+  /// (maturing the delay) instead of sleeping a full poll interval.
+  std::optional<envelope> try_recv_match(int src, int tag, std::uint64_t ctx,
+                                         bool* delayed_match = nullptr);
+
+  /// Nonblocking probe: peek at the first match without removing it. Under
+  /// chaos this is the only operation allowed to lie (bounded false
+  /// negatives).
+  std::optional<status> iprobe(int src, int tag, std::uint64_t ctx);
+
+  /// Nonblocking peek that never takes chaos misses (the building block for
+  /// a polling backend's *blocking* probe, which must be miss-immune just
+  /// like recv). `delayed_match` as in try_recv_match.
+  std::optional<status> try_probe(int src, int tag, std::uint64_t ctx,
+                                  bool* delayed_match = nullptr);
+
+  /// Blocking probe. Same threading caveat as recv_match.
+  status probe(int src, int tag, std::uint64_t ctx);
+
+  /// Number of queued (unreceived) messages, across all contexts. Counts
+  /// chaos-delayed messages too (they have been sent, just not yet "seen").
+  std::size_t pending() const;
+
+  /// Install fault injection for this slot; `owner_rank` diversifies the
+  /// per-rank hash streams. Must be called before any traffic flows
+  /// (backends do this during endpoint setup).
+  void configure_chaos(const chaos_config& cfg, int owner_rank);
+
+  /// Wake all blocked operations with an error (world teardown on failure).
+  void abort();
+
+  /// Cumulative probe behaviour, for the endpoint's per-backend telemetry
+  /// lane (docs/TRANSPORT.md §Observability). `draws` counts the eligible
+  /// miss draws taken (iprobe calls that had a matchable message while
+  /// misses were armed) and `misses` the false negatives actually injected;
+  /// `iprobe_calls` counts every iprobe regardless of queue state.
+  struct probe_counters {
+    std::uint64_t iprobe_calls = 0;
+    std::uint64_t draws = 0;
+    std::uint64_t misses = 0;
+  };
+  probe_counters probe_stats() const;
+
+ private:
+  struct queued {
+    envelope env;
+    std::uint64_t visible_at = 0;  ///< tick at which matching may see it
+  };
+
+  /// Per-(source, context) chaos bookkeeping: how many messages this stream
+  /// has delivered (the deterministic per-message index) and the visibility
+  /// deadline of its latest message (non-overtaking clamp).
+  struct stream_state {
+    std::uint64_t arrivals = 0;
+    std::uint64_t last_visible_at = 0;
+  };
+
+  static bool matches(const envelope& e, int src, int tag, std::uint64_t ctx) {
+    return e.ctx == ctx && (src == any_source || e.src == src) &&
+           (tag == any_tag || e.tag == tag);
+  }
+
+  /// First *visible* match in q_ (npos when none), plus whether a matching
+  /// message exists that is merely chaos-delayed — blocked callers use that
+  /// to age the delay with a timed wait instead of sleeping forever.
+  struct match_result {
+    std::size_t index;
+    bool delayed_match;
+  };
+  match_result find_match_locked(int src, int tag, std::uint64_t ctx) const;
+
+  /// Advance this rank's matching-operation clock (matures delayed
+  /// messages). Caller holds mtx_.
+  void tick_locked() { ++clock_; }
+
+  /// Maybe sleep (scheduling jitter). Called WITHOUT mtx_ held.
+  void maybe_stall();
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  mutable std::mutex mtx_;
+  mutable std::condition_variable cv_;
+  std::deque<queued> q_;
+  bool aborted_ = false;
+
+  // ------------------------------------------------------------- chaos
+  chaos_config chaos_{};  // default: everything off
+  int rank_ = 0;
+  std::uint64_t clock_ = 0;    ///< matching operations performed
+  std::uint32_t misses_ = 0;   ///< consecutive iprobe false negatives
+  std::uint64_t probe_draws_ = 0;  ///< eligible iprobe miss draws taken
+  std::uint64_t iprobe_calls_ = 0;  ///< every iprobe (telemetry only)
+  std::uint64_t miss_total_ = 0;    ///< false negatives injected (telemetry)
+  std::unordered_map<std::uint64_t, stream_state> streams_;
+  std::atomic<std::uint64_t> stall_draws_{0};
+};
+
+}  // namespace ygm::transport

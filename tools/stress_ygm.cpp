@@ -27,12 +27,15 @@
 #include "core/invariants.hpp"
 #include "core/mailbox.hpp"
 #include "mpisim/runtime.hpp"
+#include "ser/serialize.hpp"
 #include "telemetry/causal.hpp"
 #include "telemetry/telemetry.hpp"
+#include "transport/endpoint.hpp"
 
 namespace {
 
 namespace sim = ygm::mpisim;
+namespace tp = ygm::transport;
 using sim::chaos_config;
 using ygm::core::run_chaos_trial;
 using ygm::core::trial_config;
@@ -58,6 +61,9 @@ struct options {
   double trace_sample = -1;
   std::string trace_out;
   std::string postmortem_out;
+  // Transport backend; unset = YGM_TRANSPORT passthrough (default inproc),
+  // so a chaos recipe names its backend either way.
+  std::optional<tp::backend_kind> backend;
 };
 
 [[noreturn]] void usage(int code) {
@@ -71,6 +77,8 @@ struct options {
       "  --mailboxes M        mailbox|hybrid|both (default both)\n"
       "  --timed M            on|off|both (default both)\n"
       "  --chaos M            light|heavy|both (default both)\n"
+      "  --backend B          transport backend: inproc|socket (default:\n"
+      "                       $YGM_TRANSPORT, else inproc)\n"
       "  --topos NxC,..       machine shapes rotated per seed\n"
       "  --capacities a,b,..  mailbox capacities rotated per seed\n"
       "  --msgs N             p2p messages per rank per epoch (default 40)\n"
@@ -145,6 +153,14 @@ options parse(int argc, char** argv) {
       else if (v == "hybrid") o.hybrids = {true};
       else if (v == "both") o.hybrids = {false, true};
       else usage(2);
+    } else if (a == "--backend" || a.rfind("--backend=", 0) == 0) {
+      const auto v = a == "--backend" ? need(i++) : a.substr(10);
+      const auto k = tp::backend_from_name(v);
+      if (!k) {
+        std::fprintf(stderr, "stress_ygm: unknown backend '%s'\n", v.c_str());
+        std::exit(2);
+      }
+      o.backend = *k;
     } else if (a == "--timed") {
       o.timed_modes = parse_on_off_both(need(i++), "--timed");
     } else if (a == "--chaos") {
@@ -196,17 +212,27 @@ chaos_config make_chaos(const options& o, const std::string& preset,
 }
 
 template <template <class> class MailboxT>
-std::vector<std::string> run_one(const trial_config& t) {
-  std::vector<std::string> all;
-  sim::run(t.num_ranks(), t.chaos, [&](sim::comm& c) {
+std::vector<std::string> run_one(const trial_config& t,
+                                 tp::backend_kind backend) {
+  // Violations come back through run_collect's serialized result channel:
+  // on the socket backend rank bodies live in forked processes, so a
+  // gather-to-rank-0 inside the world would never reach this process.
+  sim::run_options opts;
+  opts.nranks = t.num_ranks();
+  opts.backend = backend;
+  opts.chaos = t.chaos;
+  const auto blobs = sim::run_collect(opts, [&](sim::comm& c) {
     const auto local = run_chaos_trial<MailboxT>(c, t);
-    const auto gathered = c.gather(local, 0);
-    if (c.rank() == 0) {
-      for (const auto& per_rank : gathered) {
-        all.insert(all.end(), per_rank.begin(), per_rank.end());
-      }
-    }
+    std::vector<std::byte> out;
+    ygm::ser::append_bytes(local, out);
+    return out;
   });
+  std::vector<std::string> all;
+  for (const auto& b : blobs) {
+    const auto local =
+        ygm::ser::from_bytes<std::vector<std::string>>({b.data(), b.size()});
+    all.insert(all.end(), local.begin(), local.end());
+  }
   return all;
 }
 
@@ -214,6 +240,9 @@ std::vector<std::string> run_one(const trial_config& t) {
 
 int main(int argc, char** argv) {
   const options o = parse(argc, argv);
+  const tp::backend_kind backend =
+      o.backend ? *o.backend : tp::backend_from_env();
+  const std::string backend_name(tp::to_string(backend));
 
   namespace telemetry = ygm::telemetry;
   if (o.trace_sample >= 0) telemetry::causal::set_sample_rate(o.trace_sample);
@@ -257,8 +286,9 @@ int main(int argc, char** argv) {
             ++trials;
             std::vector<std::string> violations;
             try {
-              violations = hybrid ? run_one<ygm::core::hybrid_mailbox>(t)
-                                  : run_one<ygm::core::mailbox>(t);
+              violations = hybrid
+                               ? run_one<ygm::core::hybrid_mailbox>(t, backend)
+                               : run_one<ygm::core::mailbox>(t, backend);
             } catch (const std::exception& e) {
               violations.push_back(std::string("exception: ") + e.what());
             }
@@ -267,17 +297,19 @@ int main(int argc, char** argv) {
               const std::string scheme_name(
                   ygm::routing::to_string(t.scheme));
               std::fprintf(stderr,
-                           "FAIL mailbox=%s chaos=%s %s\n"
+                           "FAIL backend=%s mailbox=%s chaos=%s %s\n"
                            "     replay: stress_ygm --seeds 1 --seed-base %llu"
                            " --schemes %s --mailboxes %s --timed %s --chaos"
-                           " %s --msgs %d --bcasts %d --epochs %d\n",
+                           " %s --msgs %d --bcasts %d --epochs %d"
+                           " --backend %s\n",
+                           backend_name.c_str(),
                            hybrid ? "hybrid" : "mailbox", preset.c_str(),
                            t.describe().c_str(),
                            static_cast<unsigned long long>(seed),
                            scheme_name.c_str(),
                            hybrid ? "hybrid" : "mailbox",
                            timed ? "on" : "off", preset.c_str(), o.msgs,
-                           o.bcasts, o.epochs);
+                           o.bcasts, o.epochs, backend_name.c_str());
               for (const auto& v : violations) {
                 std::fprintf(stderr, "     %s\n", v.c_str());
               }
@@ -301,8 +333,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("stress_ygm: %llu trials, %llu failed\n",
-              static_cast<unsigned long long>(trials),
+  std::printf("stress_ygm: %llu trials on %s, %llu failed\n",
+              static_cast<unsigned long long>(trials), backend_name.c_str(),
               static_cast<unsigned long long>(failures));
   return failures == 0 ? 0 : 1;
 }
