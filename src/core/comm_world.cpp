@@ -1,6 +1,8 @@
 #include "core/comm_world.hpp"
 
 #include "common/assert.hpp"
+#include "core/launch.hpp"
+#include "core/progress.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ygm::core {
@@ -25,6 +27,18 @@ comm_world::comm_world(mpisim::comm& c, routing::topology topo,
     : comm_(&c), router_(scheme, topo), next_tag_(kTagBlockBase) {
   YGM_CHECK(topo.num_ranks() == c.size(),
             "topology does not cover the communicator");
+  // A timed launch (run_options::virtual_network) makes every world built
+  // during the run timed, identically on all ranks — the same contract
+  // attach_virtual_network places on callers.
+  if (const auto& np = ygm::detail::launch_virtual_network(); np.has_value()) {
+    vnet_ = np;
+  }
+  // The progress station exists in every mode (the ygm::progress facade
+  // drives it from the rank thread in polling mode); it is handed to the
+  // engine only when ygm::launch installed one in this process.
+  station_ = std::make_shared<progress::station>(progress::current(),
+                                                 &c.get_endpoint());
+  if (progress::engine* eng = progress::current()) eng->adopt(station_);
   // Stamp the world's shape and routing scheme onto rank 0's timeline, so
   // offline analyzers (tools/ygm_trace) can reconstruct expected hop counts
   // from the trace file alone.
@@ -40,6 +54,13 @@ comm_world::comm_world(mpisim::comm& c, routing::topology topo,
 comm_world::comm_world(mpisim::comm& c, int cores_per_node,
                        routing::scheme_kind scheme)
     : comm_world(c, derive_topology(c, cores_per_node), scheme) {}
+
+comm_world::~comm_world() {
+  // After this returns the engine can never touch this world (or the
+  // endpoint underneath it) again; mailboxes have already unregistered
+  // their pumps in their own destructors.
+  station_->shutdown();
+}
 
 int comm_world::reserve_tag_block(int count) {
   YGM_CHECK(count > 0, "tag block must be non-empty");

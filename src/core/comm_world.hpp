@@ -10,11 +10,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "mpisim/comm.hpp"
 #include "net/params.hpp"
 #include "routing/router.hpp"
+
+namespace ygm::progress {
+class station;
+}
 
 namespace ygm::core {
 
@@ -30,6 +35,11 @@ class comm_world {
   /// cores-per-node count (size must divide evenly).
   comm_world(mpisim::comm& c, int cores_per_node,
              routing::scheme_kind scheme);
+
+  ~comm_world();
+
+  comm_world(const comm_world&) = delete;
+  comm_world& operator=(const comm_world&) = delete;
 
   int rank() const noexcept { return comm_->rank(); }
   int size() const noexcept { return comm_->size(); }
@@ -49,6 +59,19 @@ class comm_world {
   // Passthroughs used by applications between communication phases.
   void barrier() const { comm_->barrier(); }
   double wtime() const { return comm_->wtime(); }
+
+  // ------------------------------------------------------ progress control
+  //
+  // The ygm::progress facade (core/progress.hpp) is the supported surface:
+  // wrap compute regions in ygm::progress::guard, call
+  // ygm::progress::drain/quiesce instead of reaching for raw mailbox
+  // poll_incoming()/flush()/wait_empty() passthroughs. The station exists in
+  // every mode; it is registered with a progress engine only when
+  // ygm::launch installed one in this process (progress_mode = engine).
+
+  /// This rank's progress station (always present; mailboxes register their
+  /// pumps here, the engine and the facade drive them).
+  progress::station& progress_station() const noexcept { return *station_; }
 
   // --------------------------------------------------- debug / chaos knobs
 
@@ -110,6 +133,7 @@ class comm_world {
  private:
   mpisim::comm* comm_;
   routing::router router_;
+  std::shared_ptr<progress::station> station_;
   int next_tag_;
   bool serialize_self_sends_ = false;
   std::optional<net::network_params> vnet_;

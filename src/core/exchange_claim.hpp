@@ -1,0 +1,56 @@
+// RAII claim on a mailbox's "inside an exchange" flag.
+//
+// The flag has two jobs. (1) Reentrancy: a receive callback that drives
+// progress itself (poll()/test_empty() — the external-work-queue pattern)
+// must not re-enter the drain loop, or it recurses once per queued packet.
+// (2) Engine exclusion: with a progress engine attached, the engine thread
+// and the rank thread can both arrive at the same mailbox; whoever claims
+// the flag first drains, the other backs off without blocking.
+//
+// The claim is exception-safe either way: the destructor releases the flag
+// only if this claim acquired it, so a throwing receive callback can no
+// longer leave the mailbox wedged with the flag stuck true — which the
+// previous plain-bool set/clear did.
+//
+// `concurrent` selects the acquisition strength. Engine mode needs the
+// atomic exchange (two threads can race for the claim). Polling mode is
+// single-threaded — only reentrancy is possible — so a relaxed
+// load-then-store suffices; this matters because test_empty()/poll() sit
+// in the wait_empty spin and a locked RMW per iteration is measurable on
+// the mailbox hot path.
+#pragma once
+
+#include <atomic>
+
+namespace ygm::core {
+
+class exchange_claim {
+ public:
+  explicit exchange_claim(std::atomic<bool>& flag,
+                          bool concurrent = true) noexcept
+      : flag_(flag) {
+    if (concurrent) {
+      entered_ = !flag.exchange(true, std::memory_order_acq_rel);
+    } else if (!flag.load(std::memory_order_relaxed)) {
+      flag.store(true, std::memory_order_relaxed);
+      entered_ = true;
+    }
+  }
+
+  ~exchange_claim() {
+    if (entered_) flag_.store(false, std::memory_order_release);
+  }
+
+  exchange_claim(const exchange_claim&) = delete;
+  exchange_claim& operator=(const exchange_claim&) = delete;
+
+  /// True when this claim took the flag (the caller owns the drain); false
+  /// when someone else — an outer frame or the other thread — holds it.
+  bool entered() const noexcept { return entered_; }
+
+ private:
+  std::atomic<bool>& flag_;
+  bool entered_ = false;
+};
+
+}  // namespace ygm::core

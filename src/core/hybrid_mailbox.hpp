@@ -17,12 +17,23 @@
 // Trade-off (also true of the paper's design): local traffic is no longer
 // coalesced, which costs nothing in shared memory but means the capacity
 // bound applies to remote buffers only.
+//
+// Progress engine: the hybrid registers a pump exactly like core::mailbox
+// (see its header for the locking/handoff discipline). The engine drains
+// both the shared inbox and the remote packet stream, forwards intermediary
+// records in place, and defers deliveries addressed to this rank onto a
+// bounded ring of shared_records — no re-serialization, the handoff reuses
+// the reference-counted payloads the hybrid already carries.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -34,7 +45,9 @@
 #include "common/assert.hpp"
 #include "core/buffer_pool.hpp"
 #include "core/comm_world.hpp"
+#include "core/exchange_claim.hpp"
 #include "core/mailbox.hpp"
+#include "core/progress.hpp"
 #include "core/packet.hpp"
 #include "core/stats.hpp"
 #include "core/termination.hpp"
@@ -121,6 +134,22 @@ class hybrid_mailbox {
             reinterpret_cast<detail::shared_inbox*>(ptrs[r]);
       }
     }
+    // Progress-station registration, mirroring core::mailbox (engine mode
+    // requires an attached engine and an untimed world).
+    station_ = &world.progress_station();
+    engine_mode_ = station_->engine_attached() && !world.timed();
+    pump_ = std::make_shared<progress::pump>();
+    pump_->rank_poll = [this] { poll(); };
+    pump_->rank_quiesce = [this] { wait_empty(); };
+    if (engine_mode_) {
+      deferred_ = std::make_unique<
+          progress::mpsc_ring<std::vector<detail::shared_record>>>(
+          station_->attached_engine()->opts().ring_slots);
+      pump_->engine_advance = [this](bool inline_deliveries) {
+        return engine_advance(inline_deliveries);
+      };
+    }
+    station_->add_pump(pump_);
   }
 
   hybrid_mailbox(const hybrid_mailbox&) = delete;
@@ -132,6 +161,10 @@ class hybrid_mailbox {
   /// (wait_empty) first. Swallows transport errors so unwinding after an
   /// aborted world cannot terminate.
   ~hybrid_mailbox() {
+    // Detach from the engine before anything else: after remove_pump the
+    // engine can never touch this mailbox again, so the stats publish and
+    // the collective barrier below run single-threaded.
+    station_->remove_pump(pump_);
     if (auto* rec = telemetry::tls()) {
       stats_.publish(rec->metrics());
       rec->metrics().counter("hybrid.shared_handoffs") += shared_handoffs_;
@@ -146,6 +179,7 @@ class hybrid_mailbox {
 
   void send(int dest, const Msg& m) {
     YGM_CHECK(dest >= 0 && dest < world_->size(), "send destination invalid");
+    const auto lk = engine_lock();
     ++stats_.app_sends;
     if (dest == world_->rank()) {
       if (world_->serialize_self_sends()) {
@@ -188,12 +222,16 @@ class hybrid_mailbox {
       len_hint_ = rec.payload_size;
       if (traced) note_trace_pending(nh, tc, rec.payload_size);
       finish_record(nh, buf, before);
-      if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+      if (in_exchange_.load(std::memory_order_relaxed) &&
+        queued_bytes_ >= capacity_) {
+      flush();
+    }
     }
     maybe_exchange();
   }
 
   void send_bcast(const Msg& m) {
+    const auto lk = engine_lock();
     ++stats_.app_bcasts;
     auto payload = std::make_shared<std::vector<std::byte>>();
     ser::append_bytes(m, *payload);
@@ -207,11 +245,17 @@ class hybrid_mailbox {
   // ------------------------------------------------------------ progress
 
   void poll() {
+    // Lock-free early-out while the engine (or an outer frame) is mid-drain
+    // — see core::mailbox::poll(); this read is why in_exchange_ is atomic.
+    if (engine_mode_ && in_exchange_.load(std::memory_order_acquire)) return;
+    const auto lk = engine_lock();
+    if (engine_mode_) drain_deferred_locked();
     poll_incoming();
     if (queued_bytes_ >= capacity_) flush();
   }
 
   void flush() {
+    const auto lk = engine_lock();
     const std::size_t flushed_bytes = queued_bytes_;
     bool any = false;
     for (int nh : nonempty_) {
@@ -230,9 +274,8 @@ class hybrid_mailbox {
   // ---------------------------------------------------------- termination
 
   bool test_empty() {
-    poll_incoming();
-    flush();
-    return term_.poll(stats_.hops_sent, stats_.hops_received);
+    auto lk = engine_lock();
+    return test_empty_locked();
   }
 
   /// Blocking loop over the same tree detector as test_empty() — see
@@ -242,10 +285,23 @@ class hybrid_mailbox {
   void wait_empty() {
     telemetry::span sp("mailbox.wait_empty");
     telemetry::causal::stall_watchdog wd;
-    while (!test_empty()) {
-      wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
-               queued_bytes_});
-      std::this_thread::yield();
+    if (!engine_mode_) {
+      while (!test_empty()) {
+        wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
+                 queued_bytes_});
+        std::this_thread::yield();
+      }
+    } else {
+      // Park between tests; the engine may advance this mailbox (including
+      // termination rounds) only while parked — see core::mailbox.
+      std::unique_lock lk(mx_);
+      while (!test_empty_locked()) {
+        pump_->parked.store(true, std::memory_order_release);
+        park_cv_.wait_for(lk, std::chrono::milliseconds(1));
+        pump_->parked.store(false, std::memory_order_release);
+        wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
+                 queued_bytes_});
+      }
     }
     sp.arg("hops_sent", stats_.hops_sent);
     if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
@@ -296,7 +352,10 @@ class hybrid_mailbox {
     packet_append(buf, rec.is_bcast, rec.addr,
                   {rec.payload->data(), rec.payload->size()});
     finish_record(next_hop, buf, before);
-    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+    if (in_exchange_.load(std::memory_order_relaxed) &&
+        queued_bytes_ >= capacity_) {
+      flush();
+    }
   }
 
   // Shared record-append pieces (mirror core::mailbox — see docs/PERF.md).
@@ -344,14 +403,15 @@ class hybrid_mailbox {
   }
 
   void maybe_exchange() {
-    if (queued_bytes_ >= capacity_ && !in_exchange_) {
+    if (queued_bytes_ >= capacity_ &&
+        !in_exchange_.load(std::memory_order_relaxed)) {
+      exchange_claim claim(in_exchange_, engine_mode_);
+      if (!claim.entered()) return;  // outer frame owns the drain
       telemetry::span sp("mailbox.exchange");
       sp.arg("queued_bytes", queued_bytes_);
       sp.sample_into(telemetry::fast_histogram::exchange_us);
-      in_exchange_ = true;
       flush();
       drain_incoming();
-      in_exchange_ = false;
       if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
     }
   }
@@ -390,24 +450,26 @@ class hybrid_mailbox {
     buf.clear();
   }
 
-  // Reentrant calls (a receive callback invoking poll()/test_empty()) are
-  // no-ops — see core::mailbox::poll_incoming for the recursion bug this
-  // guards against; the outer drain loop picks up anything that arrives.
+  // Reentrant (or engine-raced) calls are no-ops — see
+  // core::mailbox::poll_incoming and exchange_claim for the recursion bug
+  // and the engine half; the outer drain picks up anything that arrives.
   void poll_incoming() {
-    if (in_exchange_) return;
-    in_exchange_ = true;
+    exchange_claim claim(in_exchange_, engine_mode_);
+    if (!claim.entered()) return;
     drain_incoming();
-    in_exchange_ = false;
   }
 
   // Consume everything currently in the shared inbox. A handoff pop
   // completes a network leg for a sampled record: bump its hop index and
-  // record the inbox residency (push to drain) as the handoff hop.
-  void drain_inbox() {
+  // record the inbox residency (push to drain) as the handoff hop. The
+  // drain is swap-based, so every record pushed so far is processed this
+  // pass (`defer_batch` routes deliveries — see handle_record). Returns
+  // whether anything was consumed.
+  bool drain_inbox(std::vector<detail::shared_record>* defer_batch = nullptr) {
     inbox_->drain(inbox_scratch_);
     for (auto& rec : inbox_scratch_) {
       ++stats_.hops_received;
-      world_->virtual_advance_to(rec.arrival_vtime);
+      if (world_->timed()) world_->virtual_advance_to(rec.arrival_vtime);
       world_->virtual_charge_events(1);
       if (rec.traced) {
         ++rec.tctx.hop;
@@ -415,7 +477,47 @@ class hybrid_mailbox {
                                       telemetry::causal::hop_kind::handoff,
                                       rec.trace_push_us, rec.payload->size());
       }
-      handle_record(std::move(rec));
+      handle_record(std::move(rec), defer_batch);
+    }
+    return !inbox_scratch_.empty();
+  }
+
+  /// Parse one received wire packet: rewrap each record into a shared
+  /// record (one copy — the unavoidable deserialization of wire bytes) and
+  /// hand it to handle_record.
+  void handle_remote_packet(const std::vector<std::byte>& packet,
+                            std::vector<detail::shared_record>* defer_batch) {
+    std::span<const std::byte> body(packet.data(), packet.size());
+    if (world_->timed()) {
+      double arrival = 0;
+      YGM_CHECK(body.size() >= sizeof(double), "timed packet missing stamp");
+      std::memcpy(&arrival, body.data(), sizeof(double));
+      world_->virtual_advance_to(arrival);
+      body = body.subspan(sizeof(double));
+    }
+    packet_reader reader(body);
+    telemetry::causal::wire_ctx tctx;
+    bool have_trace = false;
+    while (!reader.done()) {
+      const packet_record rec = reader.next();
+      if (packet_record_is_trace(rec)) {
+        tctx = telemetry::causal::decode_wire(rec.payload);
+        ++tctx.hop;  // arrival completed a wire leg
+        have_trace = true;
+        continue;  // metadata, not a message hop
+      }
+      ++stats_.hops_received;
+      world_->virtual_charge_events(1);
+      auto payload = std::make_shared<std::vector<std::byte>>(
+          rec.payload.begin(), rec.payload.end());
+      detail::shared_record srec{std::move(payload), rec.addr, rec.is_bcast,
+                                 0.0};
+      if (have_trace && !rec.is_bcast) {
+        srec.traced = true;
+        srec.tctx = tctx;
+      }
+      have_trace = false;
+      handle_record(std::move(srec), defer_batch);
     }
   }
 
@@ -427,42 +529,9 @@ class hybrid_mailbox {
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
       auto packet = mpi.recv_bytes(st->source, data_tag_);
-      std::span<const std::byte> body(packet.data(), packet.size());
-      if (world_->timed()) {
-        double arrival = 0;
-        YGM_CHECK(body.size() >= sizeof(double), "timed packet missing stamp");
-        std::memcpy(&arrival, body.data(), sizeof(double));
-        world_->virtual_advance_to(arrival);
-        body = body.subspan(sizeof(double));
-      }
-      packet_reader reader(body);
-      telemetry::causal::wire_ctx tctx;
-      bool have_trace = false;
-      while (!reader.done()) {
-        const packet_record rec = reader.next();
-        if (packet_record_is_trace(rec)) {
-          tctx = telemetry::causal::decode_wire(rec.payload);
-          ++tctx.hop;  // arrival completed a wire leg
-          have_trace = true;
-          continue;  // metadata, not a message hop
-        }
-        ++stats_.hops_received;
-        world_->virtual_charge_events(1);
-        // Rewrap into a shared record (one copy — the unavoidable
-        // deserialization of wire bytes).
-        auto payload = std::make_shared<std::vector<std::byte>>(
-            rec.payload.begin(), rec.payload.end());
-        detail::shared_record srec{std::move(payload), rec.addr, rec.is_bcast,
-                                   0.0};
-        if (have_trace && !rec.is_bcast) {
-          srec.traced = true;
-          srec.tctx = tctx;
-        }
-        have_trace = false;
-        handle_record(std::move(srec));
-      }
-      // Every record was rewrapped (copied) above, so the packet's
-      // capacity can be recycled.
+      handle_remote_packet(packet, nullptr);
+      // Every record was rewrapped (copied), so the packet's capacity can
+      // be recycled.
       buffer_pool::local().release(std::move(packet));
       // A remote packet may have arrived while we were draining; loop picks
       // it up. Shared records that arrived meanwhile are caught by the next
@@ -471,11 +540,24 @@ class hybrid_mailbox {
     drain_inbox();
   }
 
-  void handle_record(detail::shared_record&& rec) {
+  /// `defer_batch` non-null (engine thread, deferred-delivery policy):
+  /// deliveries addressed to this rank are pushed onto the batch instead of
+  /// executing the callback; forwarding (intermediary and broadcast
+  /// fan-out) always happens in place.
+  void handle_record(detail::shared_record&& rec,
+                     std::vector<detail::shared_record>* defer_batch =
+                         nullptr) {
     const int me = world_->rank();
     if (rec.is_bcast) {
       YGM_ASSERT(rec.addr != me);
-      deliver(*rec.payload);
+      if (defer_batch != nullptr) {
+        // Broadcasts are never sampled; the deferred copy shares the
+        // reference-counted payload with the fan-out below.
+        defer_record(*defer_batch,
+                     detail::shared_record{rec.payload, me, false});
+      } else {
+        deliver(*rec.payload);
+      }
       for (int nh : world_->route().bcast_next_hops(me, rec.addr)) {
         ++stats_.forwards;
         fwd_marker_.record(static_cast<std::uint64_t>(rec.addr),
@@ -483,12 +565,16 @@ class hybrid_mailbox {
         forward(nh, detail::shared_record{rec.payload, rec.addr, true});
       }
     } else if (rec.addr == me) {
-      if (rec.traced) {
-        telemetry::causal::record_hop(rec.tctx,
-                                      telemetry::causal::hop_kind::deliver, -1,
-                                      rec.payload->size());
+      if (defer_batch != nullptr) {
+        defer_record(*defer_batch, std::move(rec));
+      } else {
+        if (rec.traced) {
+          telemetry::causal::record_hop(rec.tctx,
+                                        telemetry::causal::hop_kind::deliver,
+                                        -1, rec.payload->size());
+        }
+        deliver(*rec.payload);
       }
-      deliver(*rec.payload);
     } else {
       ++stats_.forwards;
       const int nh = world_->route().next_hop(me, rec.addr);
@@ -501,6 +587,124 @@ class hybrid_mailbox {
       }
       forward(nh, std::move(rec));
     }
+  }
+
+  // ------------------------------------------------------- progress engine
+  //
+  // Mirrors core::mailbox (see its header for the full discipline): the
+  // engine always try-locks mx_, termination rounds advance only for a
+  // parked rank with an empty handoff ring, and a consumed quiescence
+  // verdict is preserved in quiescence_seen_.
+
+  /// Empty (disengaged) in polling mode; a real lock in engine mode.
+  /// [[unlikely]] keeps the polling-mode hot path straight-line (see the
+  /// twin in mailbox.hpp).
+  std::unique_lock<std::recursive_mutex> engine_lock() const {
+    if (engine_mode_) [[unlikely]] {
+      return std::unique_lock(mx_);
+    }
+    return std::unique_lock<std::recursive_mutex>();
+  }
+
+  bool test_empty_locked() {
+    if (engine_error_) {
+      std::exception_ptr e = std::exchange(engine_error_, nullptr);
+      std::rethrow_exception(e);
+    }
+    if (engine_mode_) drain_deferred_locked();
+    poll_incoming();
+    flush();
+    if (quiescence_seen_) {
+      quiescence_seen_ = false;
+      return true;
+    }
+    return term_.poll(stats_.hops_sent, stats_.hops_received);
+  }
+
+  /// Engine thread: one advance pass (never blocks on the rank).
+  bool engine_advance(bool inline_deliveries) {
+    std::unique_lock lk(mx_, std::try_to_lock);
+    if (!lk.owns_lock()) return false;
+    if (engine_error_) return false;  // rank must consume the failure first
+    exchange_claim claim(in_exchange_);
+    if (!claim.entered()) return false;
+
+    bool did = false;
+    try {
+      did = engine_drain(inline_deliveries);
+      if (queued_bytes_ >= capacity_) flush();
+      if (pump_->parked.load(std::memory_order_acquire) &&
+          deferred_->empty()) {
+        flush();
+        if (term_.poll(stats_.hops_sent, stats_.hops_received)) {
+          quiescence_seen_ = true;
+          did = true;
+        }
+      }
+    } catch (...) {
+      engine_error_ = std::current_exception();
+      did = true;
+    }
+    if (did) park_cv_.notify_all();
+    return did;
+  }
+
+  /// Engine-side drain: shared inbox first (swap-based, so it always
+  /// completes), then remote packets bounded by the deferred-batch volume.
+  /// A full ring is backpressure — remote messages stay in the mail slot
+  /// and inbox records keep flowing through forwarding only.
+  bool engine_drain(bool inline_deliveries) {
+    if (!inline_deliveries && deferred_->full()) return false;
+    std::vector<detail::shared_record> batch;
+    auto* defer_batch = inline_deliveries ? nullptr : &batch;
+    engine_batch_bytes_ = 0;
+    bool did = drain_inbox(defer_batch);
+    auto& mpi = world_->mpi();
+    while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
+      auto packet = mpi.recv_bytes(st->source, data_tag_);
+      handle_remote_packet(packet, defer_batch);
+      buffer_pool::local().release(std::move(packet));
+      did = true;
+      if (engine_batch_bytes_ >= capacity_) break;  // bound one pass
+    }
+    if (!batch.empty()) {
+      telemetry::count("progress.deferred_batches");
+      // Single producer + the full() check above: this push cannot fail.
+      const bool ok = deferred_->try_push(std::move(batch));
+      YGM_ASSERT(ok);
+      park_cv_.notify_all();
+    }
+    return did;
+  }
+
+  /// Engine side: queue one delivery-bound record for the rank. The ring
+  /// residency (push to delivery) becomes the record's final trace span.
+  void defer_record(std::vector<detail::shared_record>& batch,
+                    detail::shared_record&& rec) {
+    // No hop event for the ring push (handoff = network leg in
+    // journey::legs(); the ring is rank-internal). The push timestamp
+    // still seeds the deliver hop's residency span on the rank side.
+    if (rec.traced) rec.trace_push_us = telemetry::now_us();
+    engine_batch_bytes_ += rec.payload->size();
+    batch.push_back(std::move(rec));
+  }
+
+  /// Rank thread: execute the delivery callbacks the engine handed off.
+  bool drain_deferred_locked() {
+    bool any = false;
+    while (auto batch = deferred_->try_pop()) {
+      for (auto& rec : *batch) {
+        if (rec.traced) {
+          telemetry::causal::record_hop(rec.tctx,
+                                        telemetry::causal::hop_kind::deliver,
+                                        rec.trace_push_us,
+                                        rec.payload->size());
+        }
+        deliver(*rec.payload);
+        any = true;
+      }
+    }
+    return any;
   }
 
   void deliver(const std::vector<std::byte>& payload) {
@@ -528,8 +732,24 @@ class hybrid_mailbox {
   std::size_t queued_bytes_ = 0;
   std::size_t len_hint_ = 0;  ///< previous payload size seeds length-slot width
   std::vector<detail::shared_record> inbox_scratch_;  // drain ping-pong buffer
-  bool in_exchange_ = false;
+  /// The exchange/drain claim (see exchange_claim.hpp); atomic for the same
+  /// unguarded poll() early-out as core::mailbox.
+  std::atomic<bool> in_exchange_{false};
   std::uint64_t shared_handoffs_ = 0;
+
+  // Progress-engine state (see core::mailbox for the full discipline). In
+  // polling mode only station_/pump_ are live.
+  progress::station* station_ = nullptr;
+  std::shared_ptr<progress::pump> pump_;
+  bool engine_mode_ = false;
+  mutable std::recursive_mutex mx_;
+  std::condition_variable_any park_cv_;
+  std::unique_ptr<progress::mpsc_ring<std::vector<detail::shared_record>>>
+      deferred_;
+  bool quiescence_seen_ = false;
+  std::exception_ptr engine_error_;
+  /// Payload bytes deferred in the current engine pass (bounds the pass).
+  std::size_t engine_batch_bytes_ = 0;
 
   mailbox_stats stats_;
 

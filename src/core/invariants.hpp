@@ -32,9 +32,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include <optional>
+
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "core/comm_world.hpp"
+#include "core/progress.hpp"
 #include "core/stats.hpp"
 #include "mpisim/chaos.hpp"
 #include "mpisim/comm.hpp"
@@ -263,6 +266,10 @@ struct trial_config {
   int msgs_per_rank = 40;
   int bcasts_per_rank = 3;
   int epochs = 2;
+  /// Wrap each epoch's injection phase in a ygm::progress::guard, opting
+  /// the traffic into engine stealing when a progress engine is installed
+  /// (a no-op marker in polling mode — the sweep matrix runs both).
+  bool use_progress_guard = false;
   mpisim::chaos_config chaos;
 
   int num_ranks() const { return nodes * cores; }
@@ -273,7 +280,8 @@ struct trial_config {
        << " topo=" << nodes << "x" << cores << " cap=" << capacity
        << " timed=" << int(timed) << " selfser=" << int(serialize_self_sends)
        << " msgs=" << msgs_per_rank << " bcasts=" << bcasts_per_rank
-       << " epochs=" << epochs << " chaos={" << chaos.describe() << "}";
+       << " epochs=" << epochs << " guard=" << int(use_progress_guard)
+       << " chaos={" << chaos.describe() << "}";
     return os.str();
   }
 };
@@ -305,15 +313,23 @@ std::vector<std::string> run_chaos_trial(mpisim::comm& c,
                       static_cast<std::uint64_t>(c.rank()));
   for (int epoch = 0; epoch < t.epochs; ++epoch) {
     ledger.unseal();
-    for (int i = 0; i < t.msgs_per_rank; ++i) {
-      const int dest =
-          static_cast<int>(rng.below(static_cast<std::uint64_t>(c.size())));
-      const auto filler = static_cast<std::size_t>(rng.below(48));
-      mb.send(dest, ledger.make_p2p(dest, filler));
-      if (rng.below(4) == 0) mb.poll();
-    }
-    for (int b = 0; b < t.bcasts_per_rank; ++b) {
-      mb.send_bcast(ledger.make_bcast(static_cast<std::size_t>(rng.below(32))));
+    {
+      // Injection phase, optionally under an engine guard: the engine may
+      // then steal drains and defer deliveries concurrently with the sends
+      // below — the ledger still has to come out exactly-once.
+      std::optional<progress::guard> guard;
+      if (t.use_progress_guard) guard.emplace(world);
+      for (int i = 0; i < t.msgs_per_rank; ++i) {
+        const int dest =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(c.size())));
+        const auto filler = static_cast<std::size_t>(rng.below(48));
+        mb.send(dest, ledger.make_p2p(dest, filler));
+        if (rng.below(4) == 0) mb.poll();
+      }
+      for (int b = 0; b < t.bcasts_per_rank; ++b) {
+        mb.send_bcast(
+            ledger.make_bcast(static_cast<std::size_t>(rng.below(32))));
+      }
     }
 
     if ((c.rank() + epoch) % 2 == 0) {

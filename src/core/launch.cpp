@@ -1,0 +1,87 @@
+#include "core/launch.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "telemetry/causal.hpp"
+
+namespace ygm {
+
+namespace {
+
+// Launch-scoped process globals. Set on the driver thread before rank
+// threads spawn (inproc) or children fork (socket) and restored after the
+// run — both backends therefore see a stable value for the whole run
+// without synchronization.
+std::optional<net::network_params> g_launch_vnet;
+
+struct scoped_run_defaults {
+  explicit scoped_run_defaults(const run_options& opts)
+      : prev_sample_(telemetry::causal::sample_rate()) {
+    if (opts.virtual_network) g_launch_vnet = *opts.virtual_network;
+    if (opts.trace_sample) {
+      YGM_CHECK(*opts.trace_sample >= 0.0 && *opts.trace_sample <= 1.0,
+                "run_options::trace_sample must be in [0, 1]");
+      telemetry::causal::set_sample_rate(*opts.trace_sample);
+    }
+  }
+  ~scoped_run_defaults() {
+    g_launch_vnet.reset();
+    telemetry::causal::set_sample_rate(prev_sample_);
+  }
+
+  double prev_sample_;
+};
+
+mpisim::run_options to_mpisim_options(const run_options& opts) {
+  mpisim::run_options mo;
+  mo.nranks = opts.nranks;
+  mo.backend = opts.backend;
+  mo.chaos = opts.chaos;
+  mo.socket_dir = opts.socket_dir;
+
+  const progress::mode pmode =
+      opts.progress_mode ? *opts.progress_mode : progress::mode_from_env();
+  if (pmode == progress::mode::engine) {
+    // Resolve the backend now: socket children ship exactly one telemetry
+    // lane per rank back to the parent, so an engine lane added in a child
+    // would be lost — those engines run without a lane and fold their
+    // summary counters into the child rank's lane at teardown instead.
+    const transport::backend_kind backend =
+        opts.backend ? *opts.backend : transport::backend_from_env();
+    const bool lane_ships = backend == transport::backend_kind::inproc;
+    const progress::engine::options eopts = opts.engine;
+    mo.process_services = [eopts, lane_ships](
+                              int /*nranks*/,
+                              int telemetry_world) -> std::shared_ptr<void> {
+      return std::make_shared<progress::engine_scope>(
+          eopts, lane_ships ? telemetry_world : -1);
+    };
+  }
+  return mo;
+}
+
+}  // namespace
+
+void launch(const run_options& opts,
+            const std::function<void(mpisim::comm&)>& fn) {
+  scoped_run_defaults defaults(opts);
+  mpisim::run(to_mpisim_options(opts), fn);
+}
+
+std::vector<std::vector<std::byte>> launch_collect(
+    const run_options& opts,
+    const std::function<std::vector<std::byte>(mpisim::comm&)>& fn) {
+  scoped_run_defaults defaults(opts);
+  return mpisim::run_collect(to_mpisim_options(opts), fn);
+}
+
+namespace detail {
+
+const std::optional<net::network_params>& launch_virtual_network() noexcept {
+  return g_launch_vnet;
+}
+
+}  // namespace detail
+}  // namespace ygm

@@ -1,0 +1,105 @@
+// ygm::launch — the unified launch surface.
+//
+// Historically a run was configured through three mpisim::run(...) overloads
+// plus a scatter of YGM_* environment variables and per-object setters
+// (attach_virtual_network, set_sample_rate). This header collapses all of
+// it into one options struct and one entry point:
+//
+//   ygm::run_options o;
+//   o.nranks = 8;
+//   o.progress_mode = ygm::progress::mode::engine;
+//   ygm::launch(o, [](ygm::mpisim::comm& c) { ... });
+//
+// Configuration precedence — THE one place it is defined (docs/PROGRESS.md
+// reproduces this table):
+//
+//   explicit run_options field  >  YGM_* environment variable  >  default
+//
+//   field            env                 default
+//   ---------------  ------------------  -----------------------------
+//   backend          YGM_TRANSPORT       inproc
+//   chaos            YGM_CHAOS*          off
+//   progress_mode    YGM_PROGRESS        polling
+//   trace_sample     YGM_TRACE_SAMPLE    0 (tracing off)
+//   virtual_network  (none)              untimed
+//
+// (YGM_STALL_TIMEOUT_MS keeps its env-only path — it is a debugging
+// deadman, not a run parameter.)
+//
+// launch() also owns per-process service lifetime: with progress_mode =
+// engine it starts the progress engine (core/progress.hpp) in every OS
+// process hosting rank bodies — the driver process on the inproc backend,
+// each forked child on the socket backend — via
+// mpisim::run_options::process_services, and tears it down after the ranks
+// finish. The old mpisim::run overloads keep working unchanged (deprecated,
+// one-release notice) but never start an engine.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/progress.hpp"
+#include "mpisim/runtime.hpp"
+#include "net/params.hpp"
+
+namespace ygm {
+
+/// Everything a run can be configured with. Default-constructed options
+/// reproduce mpisim::run(nranks, fn): inproc unless YGM_TRANSPORT says
+/// otherwise, chaos from YGM_CHAOS*, polling progress unless YGM_PROGRESS
+/// says otherwise, trace sampling from YGM_TRACE_SAMPLE, untimed.
+struct run_options {
+  int nranks = 1;
+
+  /// Transport backend; nullopt defers to YGM_TRANSPORT (default inproc).
+  std::optional<transport::backend_kind> backend;
+
+  /// Fault injection; nullopt defers to YGM_CHAOS* (docs/CHAOS.md).
+  std::optional<mpisim::chaos_config> chaos;
+
+  /// Socket backend only: rendezvous directory ("" = fresh mkdtemp).
+  std::string socket_dir;
+
+  /// Progress mode; nullopt defers to YGM_PROGRESS (default polling).
+  /// `engine` starts one progress thread per OS process hosting ranks.
+  std::optional<progress::mode> progress_mode;
+
+  /// Engine tuning (spin/sleep/ring sizing); only read in engine mode.
+  progress::engine::options engine;
+
+  /// Causal-trace sample rate in [0, 1]; nullopt defers to YGM_TRACE_SAMPLE
+  /// (default 0). Applied for the duration of the run, restored after.
+  std::optional<double> trace_sample;
+
+  /// Conservative virtual-time network model, attached to every comm_world
+  /// constructed during the run (identically on all ranks, which is exactly
+  /// the attach_virtual_network contract). Timed worlds never receive
+  /// engine help — the virtual clock is rank-thread state.
+  std::optional<net::network_params> virtual_network;
+};
+
+/// Run `fn(world_comm)` on opts.nranks ranks. Blocks until every rank
+/// returns; rethrows the first rank failure (see mpisim::run).
+void launch(const run_options& opts,
+            const std::function<void(mpisim::comm&)>& fn);
+
+/// As launch(), for rank functions returning a byte blob; returns one blob
+/// per rank, ordered by rank (see mpisim::run_collect for the cross-backend
+/// result-channel contract).
+std::vector<std::vector<std::byte>> launch_collect(
+    const run_options& opts,
+    const std::function<std::vector<std::byte>(mpisim::comm&)>& fn);
+
+namespace detail {
+
+/// The launch-scoped default virtual network (nullopt outside a launch with
+/// run_options::virtual_network set). comm_world's constructor consults
+/// this so every world built during a timed launch is timed. Set before
+/// rank threads spawn / children fork; read-only during the run.
+const std::optional<net::network_params>& launch_virtual_network() noexcept;
+
+}  // namespace detail
+}  // namespace ygm

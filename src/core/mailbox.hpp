@@ -24,13 +24,32 @@
 // Receive callbacks may themselves send() and send_bcast(), producing the
 // data-dependent cascades the paper targets (BFS frontiers, label
 // propagation, ...).
+//
+// Progress engine (core/progress.hpp): when ygm::launch installed an engine
+// and the world is untimed, the mailbox registers a pump and switches to
+// engine mode — every public operation then takes a per-mailbox recursive
+// mutex, and the engine thread (always via try-lock, never blocking the
+// rank) drains the transport, forwards intermediary records, and batches
+// deliveries addressed to this rank onto a bounded lock-free ring the rank
+// consumes at its next poll()/test_empty(). In polling mode the lock is
+// never constructed-locked — the hot path keeps its historical
+// zero-synchronization shape (one branch). Termination rounds are advanced
+// by the engine only while the rank is parked inside wait_empty(); a
+// quiescence verdict the engine consumed is preserved in quiescence_seen_
+// for the rank's next test.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
@@ -39,7 +58,9 @@
 #include "common/assert.hpp"
 #include "core/buffer_pool.hpp"
 #include "core/comm_world.hpp"
+#include "core/exchange_claim.hpp"
 #include "core/packet.hpp"
+#include "core/progress.hpp"
 #include "core/stats.hpp"
 #include "core/termination.hpp"
 #include "ser/serialize.hpp"
@@ -74,6 +95,25 @@ class mailbox {
     YGM_CHECK(on_recv_ != nullptr, "mailbox requires a receive callback");
     YGM_CHECK(world.size() < packet_trace_escape,
               "world size collides with the reserved trace-annotation rank");
+    // Register with the rank's progress station. Engine mode needs an
+    // attached engine AND an untimed world — the virtual clock is
+    // rank-thread state no other thread may advance. Timed (or polling)
+    // worlds still register the rank-side closures so the ygm::progress
+    // facade works uniformly.
+    station_ = &world.progress_station();
+    engine_mode_ = station_->engine_attached() && !world.timed();
+    pump_ = std::make_shared<progress::pump>();
+    pump_->rank_poll = [this] { poll(); };
+    pump_->rank_quiesce = [this] { wait_empty(); };
+    if (engine_mode_) {
+      deferred_ =
+          std::make_unique<progress::mpsc_ring<std::vector<std::byte>>>(
+              station_->attached_engine()->opts().ring_slots);
+      pump_->engine_advance = [this](bool inline_deliveries) {
+        return engine_advance(inline_deliveries);
+      };
+    }
+    station_->add_pump(pump_);
   }
 
   mailbox(const mailbox&) = delete;
@@ -82,6 +122,10 @@ class mailbox {
   /// Teardown publishes this mailbox's counters into the rank's telemetry
   /// registry (when one is attached); several mailboxes on one rank sum.
   ~mailbox() {
+    // After remove_pump returns the engine can never touch this mailbox
+    // again (it disables the pump and waits out any steal in flight), so
+    // the rest of teardown is single-threaded.
+    station_->remove_pump(pump_);
     if (auto* rec = telemetry::tls()) stats_.publish(rec->metrics());
   }
 
@@ -91,6 +135,7 @@ class mailbox {
   /// to self are delivered immediately through the callback.
   void send(int dest, const Msg& m) {
     YGM_CHECK(dest >= 0 && dest < world_->size(), "send destination invalid");
+    const auto lk = engine_lock();
     ++stats_.app_sends;
     if (dest == world_->rank()) {
       if (world_->serialize_self_sends()) {
@@ -129,7 +174,10 @@ class mailbox {
     len_hint_ = rec.payload_size;
     if (traced) note_trace_pending(nh, tc, rec.payload_size);
     finish_record(nh, buf, before);
-    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+    if (in_exchange_.load(std::memory_order_relaxed) &&
+        queued_bytes_ >= capacity_) {
+      flush();
+    }
     maybe_exchange();
   }
 
@@ -137,6 +185,7 @@ class mailbox {
   /// exactly once at every rank except the origin, along the routing
   /// scheme's broadcast tree.
   void send_bcast(const Msg& m) {
+    const auto lk = engine_lock();
     ++stats_.app_bcasts;
     const int me = world_->rank();
     const auto hops = world_->route().bcast_next_hops(me, me);
@@ -158,7 +207,10 @@ class mailbox {
       enqueue(hops[i], /*bcast=*/true, me, payload, nullptr,
               /*defer_flush=*/true);
     }
-    if (in_exchange_ && queued_bytes_ >= capacity_) flush();
+    if (in_exchange_.load(std::memory_order_relaxed) &&
+        queued_bytes_ >= capacity_) {
+      flush();
+    }
     maybe_exchange();
   }
 
@@ -168,6 +220,13 @@ class mailbox {
   /// blocking. Useful for ranks acting mostly as intermediaries while they
   /// compute.
   void poll() {
+    // Lock-free early-out: if the engine (or an outer frame) is mid-drain,
+    // there is nothing useful to add — and skipping before the mutex keeps
+    // a reentrant callback poll from serializing against the engine. This
+    // unguarded read is why in_exchange_ must be atomic.
+    if (engine_mode_ && in_exchange_.load(std::memory_order_acquire)) return;
+    const auto lk = engine_lock();
+    if (engine_mode_) drain_deferred_locked();
     poll_incoming();
     if (queued_bytes_ >= capacity_) flush();
   }
@@ -175,6 +234,7 @@ class mailbox {
   /// Flush all coalescing buffers to their next hops, even partially full
   /// ones (the paper's "including empty buffers" flush on termination).
   void flush() {
+    const auto lk = engine_lock();
     const std::size_t flushed_bytes = queued_bytes_;
     bool any = false;
     for (int nh : nonempty_) {
@@ -197,9 +257,8 @@ class mailbox {
   /// stopped producing messages and all hops have been received globally.
   /// Every rank must keep polling for detection to complete.
   bool test_empty() {
-    poll_incoming();
-    flush();
-    return term_.poll(stats_.hops_sent, stats_.hops_received);
+    auto lk = engine_lock();
+    return test_empty_locked();
   }
 
   /// Block until global quiescence (paper WAIT_EMPTY). Collective: every
@@ -213,10 +272,28 @@ class mailbox {
     // blocked on a collective the polling ranks never entered.
     telemetry::span sp("mailbox.wait_empty");
     telemetry::causal::stall_watchdog wd;
-    while (!test_empty()) {
-      wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
-               queued_bytes_});
-      std::this_thread::yield();
+    if (!engine_mode_) {
+      while (!test_empty()) {
+        wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
+                 queued_bytes_});
+        std::this_thread::yield();
+      }
+    } else {
+      // Engine mode: park between tests instead of spinning. While parked
+      // the engine may advance this mailbox — including its termination
+      // rounds, the one window where that is sound (a parked rank produces
+      // nothing, so it cannot invalidate a quiescence verdict). The short
+      // wait bound keeps the rank self-sufficient (liveness does not
+      // depend on the engine, which may be paused) and feeds the stall
+      // watchdog.
+      std::unique_lock lk(mx_);
+      while (!test_empty_locked()) {
+        pump_->parked.store(true, std::memory_order_release);
+        park_cv_.wait_for(lk, std::chrono::milliseconds(1));
+        pump_->parked.store(false, std::memory_order_release);
+        wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
+                 queued_bytes_});
+      }
     }
     sp.arg("hops_sent", stats_.hops_sent);
     if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
@@ -308,21 +385,23 @@ class mailbox {
     finish_record(next_hop, buf, before);
     // Forwarding during an exchange can overfill the buffers; flush inline
     // (without re-entering the poll loop).
-    if (!defer_flush && in_exchange_ && queued_bytes_ >= capacity_) flush();
+    if (!defer_flush && in_exchange_.load(std::memory_order_relaxed) &&
+        queued_bytes_ >= capacity_) flush();
   }
 
   void maybe_exchange() {
-    if (queued_bytes_ >= capacity_ && !in_exchange_) {
+    if (queued_bytes_ >= capacity_ &&
+        !in_exchange_.load(std::memory_order_relaxed)) {
+      exchange_claim claim(in_exchange_, engine_mode_);
+      if (!claim.entered()) return;  // outer frame owns the drain
       // A communication context (paper "exchange"): one span per entry,
       // with the trigger volume attached and the duration sampled into the
       // exchange-time histogram.
       telemetry::span sp("mailbox.exchange");
       sp.arg("queued_bytes", queued_bytes_);
       sp.sample_into(telemetry::fast_histogram::exchange_us);
-      in_exchange_ = true;
       flush();
       drain_incoming();
-      in_exchange_ = false;
       if (world_->timed()) sp.vtime_seconds(world_->virtual_now());
     }
   }
@@ -370,19 +449,18 @@ class mailbox {
     buf.clear();
   }
 
-  // Reentrant calls are no-ops: a receive callback that drives progress
-  // itself (poll()/test_empty() — the external-work-queue pattern) would
-  // otherwise re-enter the drain loop below once per queued packet,
-  // recursing unboundedly. The outer drain picks up whatever arrives
-  // meanwhile.
+  // Reentrant (or engine-raced) calls are no-ops: a receive callback that
+  // drives progress itself (poll()/test_empty() — the external-work-queue
+  // pattern) would otherwise re-enter the drain loop below once per queued
+  // packet, recursing unboundedly; see exchange_claim for the engine half.
+  // The outer drain picks up whatever arrives meanwhile.
   void poll_incoming() {
-    if (in_exchange_) return;
-    in_exchange_ = true;
+    exchange_claim claim(in_exchange_, engine_mode_);
+    if (!claim.entered()) return;
     drain_incoming();
-    in_exchange_ = false;
   }
 
-  // The raw drain loop; the caller must already hold in_exchange_.
+  // The raw drain loop; the caller must already hold the exchange claim.
   void drain_incoming() {
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
@@ -395,7 +473,166 @@ class mailbox {
     }
   }
 
-  void handle_packet(const std::vector<std::byte>& packet) {
+  // ------------------------------------------------------- progress engine
+  //
+  // Everything below runs with mx_ held (engine side: acquired by try-lock
+  // in engine_advance; rank side: by the public entry points).
+
+  /// Empty (disengaged) in polling mode, so the historical hot path pays
+  /// one branch and no atomics; a real lock in engine mode. Recursive so
+  /// receive callbacks that send()/poll() just re-enter.
+  std::unique_lock<std::recursive_mutex> engine_lock() const {
+    // [[unlikely]] keeps the polling-mode hot path straight-line: the
+    // engine branch is moved out of the fall-through (send() runs this
+    // per message at ~30 M msgs/s, where a taken branch is measurable).
+    if (engine_mode_) [[unlikely]] {
+      return std::unique_lock(mx_);
+    }
+    return std::unique_lock<std::recursive_mutex>();
+  }
+
+  bool test_empty_locked() {
+    // An exception raised by a callback the engine executed on our behalf
+    // surfaces on the rank thread at its next progress call.
+    if (engine_error_) {
+      std::exception_ptr e = std::exchange(engine_error_, nullptr);
+      std::rethrow_exception(e);
+    }
+    if (engine_mode_) drain_deferred_locked();
+    poll_incoming();
+    flush();
+    if (quiescence_seen_) {
+      // The engine consumed the detector's sticky verdict while we were
+      // parked; honor it exactly once.
+      quiescence_seen_ = false;
+      return true;
+    }
+    return term_.poll(stats_.hops_sent, stats_.hops_received);
+  }
+
+  /// Engine thread: one advance pass. Never blocks on the rank — if the
+  /// rank is anywhere inside the mailbox, back off and retry next pass.
+  bool engine_advance(bool inline_deliveries) {
+    std::unique_lock lk(mx_, std::try_to_lock);
+    if (!lk.owns_lock()) return false;
+    if (engine_error_) return false;  // rank must consume the failure first
+    exchange_claim claim(in_exchange_);
+    if (!claim.entered()) return false;
+
+    bool did = false;
+    try {
+      did = engine_drain(inline_deliveries);
+      if (queued_bytes_ >= capacity_) flush();
+      // Termination rounds only for a parked rank with nothing pending in
+      // the handoff ring: a computing rank may still produce (false
+      // quiescence), and an undrained ring means counted-but-undelivered
+      // messages.
+      if (pump_->parked.load(std::memory_order_acquire) &&
+          deferred_->empty()) {
+        flush();
+        if (term_.poll(stats_.hops_sent, stats_.hops_received)) {
+          quiescence_seen_ = true;
+          did = true;
+        }
+      }
+    } catch (...) {
+      // A callback executed on the engine (deliver::on_engine) threw, or a
+      // transport error surfaced here: park it for the rank thread.
+      engine_error_ = std::current_exception();
+      did = true;
+    }
+    if (did) park_cv_.notify_all();
+    return did;
+  }
+
+  /// Engine-side transport drain: forwards intermediary records in place,
+  /// defers (or, under deliver::on_engine, executes) deliveries addressed
+  /// to this rank. One ring batch per pass bounds handoff growth; a full
+  /// ring is backpressure — the engine leaves messages in the mail slot
+  /// until the rank catches up.
+  bool engine_drain(bool inline_deliveries) {
+    if (!inline_deliveries && deferred_->full()) return false;
+    auto& mpi = world_->mpi();
+    std::vector<std::byte> batch;
+    bool did = false;
+    while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
+      auto packet = mpi.recv_bytes(st->source, data_tag_);
+      handle_packet(packet, inline_deliveries ? nullptr : &batch);
+      buffer_pool::local().release(std::move(packet));
+      did = true;
+      if (batch.size() >= capacity_) break;  // bound one pass's handoff
+    }
+    if (batch.size() > sizeof(double)) {
+      const double pushed_us = telemetry::now_us();
+      std::memcpy(batch.data(), &pushed_us, sizeof(double));
+      telemetry::count("progress.deferred_batches");
+      // Single producer + the full() check above: this push cannot fail.
+      const bool ok = deferred_->try_push(std::move(batch));
+      YGM_ASSERT(ok);
+      park_cv_.notify_all();
+    }
+    return did;
+  }
+
+  /// Rank thread: execute the delivery callbacks the engine handed off.
+  bool drain_deferred_locked() {
+    bool any = false;
+    while (auto batch = deferred_->try_pop()) {
+      double pushed_us = 0;
+      YGM_ASSERT(batch->size() >= sizeof(double));
+      std::memcpy(&pushed_us, batch->data(), sizeof(double));
+      packet_reader reader(
+          {batch->data() + sizeof(double), batch->size() - sizeof(double)});
+      telemetry::causal::wire_ctx tctx;
+      const telemetry::causal::wire_ctx* pending_trace = nullptr;
+      while (!reader.done()) {
+        const packet_record rec = reader.next();
+        if (packet_record_is_trace(rec)) {
+          // The engine already bumped the hop at transport-packet arrival;
+          // the ring handoff is not a network leg.
+          tctx = telemetry::causal::decode_wire(rec.payload);
+          pending_trace = &tctx;
+          continue;
+        }
+        if (pending_trace != nullptr) {
+          // Span from ring push to delivery = engine-handoff residency.
+          telemetry::causal::record_hop(*pending_trace,
+                                        telemetry::causal::hop_kind::deliver,
+                                        pushed_us, rec.payload.size());
+          pending_trace = nullptr;
+        }
+        deliver(rec.payload);
+        any = true;
+      }
+      buffer_pool::local().release(std::move(*batch));
+    }
+    return any;
+  }
+
+  /// Engine side: append one delivery (payload + optional trace context)
+  /// to the current handoff batch, in packet format behind an 8-byte
+  /// push-timestamp slot.
+  void defer_delivery(std::vector<std::byte>& batch,
+                      std::span<const std::byte> payload,
+                      const telemetry::causal::wire_ctx* trace) {
+    if (batch.empty()) {
+      batch = buffer_pool::local().acquire(
+          std::min<std::size_t>(capacity_, 4096));
+      batch.resize(sizeof(double));  // push-timestamp slot
+    }
+    // No hop event for the ring push: handoff counts as a network leg in
+    // journey::legs(), and the ring is rank-internal. Ring residency is
+    // still visible — the rank-side drain records the deliver hop with a
+    // span starting at the batch's push timestamp.
+    if (trace != nullptr) append_trace_escape(batch, *trace);
+    // Always recorded as a plain record addressed to this rank: broadcast
+    // fan-out already happened on the engine, only the local delivery is
+    // deferred.
+    packet_append(batch, /*is_bcast=*/false, world_->rank(), payload);
+  }
+
+  void handle_packet(const std::vector<std::byte>& packet,
+                     std::vector<std::byte>* defer_batch = nullptr) {
     const int me = world_->rank();
     std::span<const std::byte> body(packet.data(), packet.size());
     if (world_->timed()) {
@@ -425,7 +662,11 @@ class mailbox {
       if (rec.is_bcast) {
         YGM_ASSERT(rec.addr != me);  // bcast trees never loop to the origin
         pending_trace = nullptr;  // broadcasts are never sampled
-        deliver(rec.payload);
+        if (defer_batch != nullptr) {
+          defer_delivery(*defer_batch, rec.payload, nullptr);
+        } else {
+          deliver(rec.payload);
+        }
         // Forward straight from the received packet's span — enqueue copies
         // it into the coalescing buffers, and an inline flush only touches
         // those buffers, so the span stays valid across the fan-out.
@@ -436,13 +677,18 @@ class mailbox {
           enqueue(nh, /*bcast=*/true, rec.addr, rec.payload);
         }
       } else if (rec.addr == me) {
-        if (pending_trace != nullptr) {
-          telemetry::causal::record_hop(*pending_trace,
-                                        telemetry::causal::hop_kind::deliver,
-                                        -1, rec.payload.size());
+        if (defer_batch != nullptr) {
+          defer_delivery(*defer_batch, rec.payload, pending_trace);
           pending_trace = nullptr;
+        } else {
+          if (pending_trace != nullptr) {
+            telemetry::causal::record_hop(
+                *pending_trace, telemetry::causal::hop_kind::deliver, -1,
+                rec.payload.size());
+            pending_trace = nullptr;
+          }
+          deliver(rec.payload);
         }
-        deliver(rec.payload);
       } else {
         ++stats_.forwards;
         const int nh = world_->route().next_hop(me, rec.addr);
@@ -480,7 +726,32 @@ class mailbox {
   std::vector<std::uint32_t> record_counts_;
   std::vector<int> nonempty_;
   std::size_t queued_bytes_ = 0;
-  bool in_exchange_ = false;
+  /// The exchange/drain claim (see exchange_claim.hpp). Atomic because
+  /// poll()'s engine-mode early-out reads it without mx_; all writes happen
+  /// through exchange_claim under the lock discipline.
+  std::atomic<bool> in_exchange_{false};
+
+  // ------------------------------------------------- progress-engine state
+  //
+  // In polling mode only station_/pump_ are live (facade registration);
+  // mx_ is never locked, deferred_ is null, and the flags stay false.
+  progress::station* station_ = nullptr;
+  std::shared_ptr<progress::pump> pump_;
+  bool engine_mode_ = false;
+  /// Guards ALL mailbox state in engine mode (engine always try-locks).
+  mutable std::recursive_mutex mx_;
+  /// Signalled by the engine on progress so a parked wait_empty() wakes
+  /// promptly; _any because the mutex is recursive.
+  std::condition_variable_any park_cv_;
+  /// Engine → rank handoff of deferred delivery batches (packet format
+  /// behind an 8-byte push timestamp). Bounded: full = backpressure.
+  std::unique_ptr<progress::mpsc_ring<std::vector<std::byte>>> deferred_;
+  /// A quiescence verdict the engine consumed from the (sticky, one-shot)
+  /// detector while the rank was parked; honored at the rank's next test.
+  bool quiescence_seen_ = false;
+  /// First exception thrown by a callback the engine executed; rethrown on
+  /// the rank thread at its next progress call.
+  std::exception_ptr engine_error_;
 
   // Length-slot width hint for in-place serialization: the previous
   // payload size, so fixed-size message streams patch the varint in place

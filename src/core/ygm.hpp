@@ -2,7 +2,10 @@
 //
 // Typical usage (see examples/quickstart.cpp):
 //
-//   ygm::mpisim::run(n_ranks, [](ygm::mpisim::comm& c) {
+//   ygm::run_options opts;
+//   opts.nranks = n_ranks;
+//   opts.progress_mode = ygm::progress::mode::engine;  // or omit: YGM_PROGRESS
+//   ygm::launch(opts, [](ygm::mpisim::comm& c) {
 //     ygm::core::comm_world world(c, /*cores_per_node=*/4,
 //                                 ygm::routing::scheme_kind::nlnr);
 //     ygm::core::mailbox<MyMsg> mb(world, [&](const MyMsg& m) { ... });
@@ -10,11 +13,16 @@
 //     mb.send_bcast(msg);
 //     mb.wait_empty();
 //   });
+//
+// ygm::launch (core/launch.hpp) supersedes the ygm::mpisim::run(...)
+// overloads; docs/PROGRESS.md §Migration has the mapping.
 #pragma once
 
 #include "core/comm_world.hpp"
+#include "core/launch.hpp"
 #include "core/mailbox.hpp"
 #include "core/packet.hpp"
+#include "core/progress.hpp"
 #include "core/stats.hpp"
 #include "core/termination.hpp"
 #include "mpisim/runtime.hpp"

@@ -23,8 +23,9 @@ std::shared_ptr<const std::vector<int>> world_members(int nranks) {
 }
 
 std::vector<std::vector<std::byte>> run_inproc(
-    int nranks, const std::optional<chaos_config>& chaos,
+    const run_options& opts, const std::optional<chaos_config>& chaos,
     const std::function<std::vector<std::byte>(comm&)>& fn) {
+  const int nranks = opts.nranks;
   transport::inproc::fabric fab(nranks);
   if (chaos && chaos->enabled()) fab.set_chaos(*chaos);
 
@@ -34,6 +35,11 @@ std::vector<std::vector<std::byte>> run_inproc(
   // construction.
   telemetry::session* const tsess = telemetry::global();
   const int tworld = tsess != nullptr ? tsess->begin_world(nranks) : -1;
+
+  // Per-process services (e.g. the progress engine) come up before any rank
+  // body can observe them and stay up until every rank has finished.
+  std::shared_ptr<void> services;
+  if (opts.process_services) services = opts.process_services(nranks, tworld);
 
   const auto members = world_members(nranks);
 
@@ -67,19 +73,34 @@ std::vector<std::vector<std::byte>> run_inproc(
   }
   for (auto& t : threads) t.join();
 
+  // Tear services down before rethrowing: a progress engine must not
+  // outlive the fabric the rank endpoints lived on.
+  services.reset();
+
   if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 
 std::vector<std::vector<std::byte>> run_socket(
-    int nranks, const std::optional<chaos_config>& chaos,
-    const std::string& socket_dir,
+    const run_options& opts, const std::optional<chaos_config>& chaos,
     const std::function<std::vector<std::byte>(comm&)>& fn) {
   // launch() owns forking, rendezvous, telemetry lane shipping, and error
   // propagation; the body here only builds the world communicator on the
-  // endpoint it is handed.
+  // endpoint it is handed. The body runs in the forked child, so
+  // per-process services start there — an engine thread would not survive
+  // the fork from the parent.
   return transport::socket::launch(
-      nranks, chaos, socket_dir, [&fn](transport::endpoint& ep) {
+      opts.nranks, chaos, opts.socket_dir,
+      [&fn, &opts](transport::endpoint& ep) {
+        std::shared_ptr<void> services;
+        if (opts.process_services) {
+          // The world's telemetry lanes were begun in the parent just
+          // before forking, so the child's newest world is this run's.
+          const int tworld = telemetry::global() != nullptr
+                                 ? telemetry::global()->world_count() - 1
+                                 : -1;
+          services = opts.process_services(ep.world_size(), tworld);
+        }
         const auto members = world_members(ep.world_size());
         comm c(ep, members, ep.world_rank(), transport::world_context,
                transport::world_context + 1);
@@ -103,11 +124,11 @@ std::vector<std::vector<std::byte>> run_collect_impl(
 
   switch (backend) {
     case transport::backend_kind::socket:
-      return run_socket(opts.nranks, chaos, opts.socket_dir, fn);
+      return run_socket(opts, chaos, fn);
     case transport::backend_kind::inproc:
       break;
   }
-  return run_inproc(opts.nranks, chaos, fn);
+  return run_inproc(opts, chaos, fn);
 }
 
 std::function<std::vector<std::byte>(comm&)> discard_result(

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,17 @@ struct run_options {
   /// Socket backend only: rendezvous directory ("" = fresh mkdtemp under
   /// $TMPDIR, removed after the run).
   std::string socket_dir;
+  /// Per-process service hook, invoked once in every OS process that hosts
+  /// rank bodies (the driver process on inproc; each forked child on
+  /// socket), before any rank body starts. The returned token is held until
+  /// every rank body in that process has finished, then released (before
+  /// error rethrow). mpisim is layered below core/, so this is how
+  /// higher layers attach per-process machinery — ygm::launch starts the
+  /// progress engine (core/progress.hpp) through it. `telemetry_world` is
+  /// the telemetry world index opened for this run's rank lanes (-1 when
+  /// telemetry is off).
+  std::function<std::shared_ptr<void>(int nranks, int telemetry_world)>
+      process_services;
 };
 
 /// Run `fn(world_comm)` on `nranks` ranks, like `mpirun -n <nranks>`.
@@ -42,14 +54,22 @@ struct run_options {
 /// wake with ygm::error, every rank is joined/reaped, and the first rank's
 /// exception (socket backend: its message) is rethrown here. This keeps
 /// failing tests from deadlocking.
+///
+/// DEPRECATED (one-release notice, docs/PROGRESS.md §Migration): new code
+/// should call ygm::launch(ygm::run_options, fn) — core/launch.hpp — which
+/// adds progress-mode, trace-sample, and virtual-network fields on top of
+/// these knobs. These wrappers keep compiling and behave identically; they
+/// will be removed one release after the launch surface lands.
 void run(int nranks, const std::function<void(comm&)>& fn);
 
 /// As above, with explicit seeded fault injection installed on the world
-/// before any rank starts (overrides the environment).
+/// before any rank starts (overrides the environment). DEPRECATED — prefer
+/// ygm::launch with run_options::chaos.
 void run(int nranks, const chaos_config& chaos,
          const std::function<void(comm&)>& fn);
 
-/// Fully-specified variant.
+/// Fully-specified variant. DEPRECATED as a public entry point — prefer
+/// ygm::launch; this remains the underlying mechanism it drives.
 void run(const run_options& opts, const std::function<void(comm&)>& fn);
 
 /// Run a rank function that returns a byte blob; returns one blob per rank,

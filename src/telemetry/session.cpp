@@ -133,6 +133,17 @@ int session::begin_world(int nranks) {
   return world;
 }
 
+int session::add_lane(int world) {
+  std::lock_guard lock(mtx_);
+  YGM_CHECK(world >= 0 && world < static_cast<int>(worlds_.size()),
+            "telemetry world index out of range");
+  auto& lanes = worlds_[static_cast<std::size_t>(world)];
+  const int rank = static_cast<int>(lanes.size());
+  lanes.push_back(
+      std::make_unique<recorder>(*this, world, rank, cfg_.ring_capacity));
+  return rank;
+}
+
 recorder& session::rank_recorder(int world, int rank) {
   std::lock_guard lock(mtx_);
   YGM_CHECK(world >= 0 && world < static_cast<int>(worlds_.size()),

@@ -152,6 +152,12 @@ class session {
   /// world index (Chrome-trace pid). Thread-safe.
   int begin_world(int nranks);
 
+  /// Append one extra lane to an already-begun world (lane index = previous
+  /// lane count) and return its index. Used for non-rank service threads
+  /// whose events must stitch with the world's rank lanes — the progress
+  /// engine records causal hop events and steal counters here. Thread-safe.
+  int add_lane(int world);
+
   /// The recorder for one (world, rank) lane. Thread-safe lookup; the
   /// returned recorder itself must only be used from its rank thread.
   recorder& rank_recorder(int world, int rank);

@@ -36,8 +36,8 @@ backend_kind backend_from_env() {
 }
 
 void endpoint::post(int dest, envelope&& e) {
-  ++stats_.posts;
-  stats_.post_bytes += e.payload.size();
+  stats_.posts.fetch_add(1, std::memory_order_relaxed);
+  stats_.post_bytes.fetch_add(e.payload.size(), std::memory_order_relaxed);
   peer(dest).post(std::move(e));
 }
 
@@ -126,8 +126,10 @@ void endpoint::publish_stats(std::uint64_t iprobe_calls,
                              std::uint64_t iprobe_misses) const {
   const std::string prefix = std::string("transport.") +
                              std::string(to_string(kind())) + ".";
-  telemetry::count(prefix + "posts", stats_.posts);
-  telemetry::count(prefix + "post_bytes", stats_.post_bytes);
+  telemetry::count(prefix + "posts",
+                   stats_.posts.load(std::memory_order_relaxed));
+  telemetry::count(prefix + "post_bytes",
+                   stats_.post_bytes.load(std::memory_order_relaxed));
   telemetry::count(prefix + "iprobe_calls", iprobe_calls);
   telemetry::count(prefix + "iprobe_draws", iprobe_draws);
   telemetry::count(prefix + "iprobe_misses", iprobe_misses);

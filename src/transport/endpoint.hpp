@@ -27,6 +27,7 @@
 // defaults to the YGM_TRANSPORT environment variable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string_view>
@@ -65,10 +66,12 @@ class channel {
 /// Per-endpoint transport counters, published into the owning rank's
 /// telemetry lane at endpoint teardown under "transport.<backend>.*" (plus
 /// the slot's probe counters — see mail_slot::probe_stats). Backends may
-/// extend the set (the socket backend adds wire.* counters).
+/// extend the set (the socket backend adds wire.* counters). Atomic
+/// (relaxed — they are counters, not synchronization) because the progress
+/// engine posts through the same endpoint rank threads post through.
 struct endpoint_stats {
-  std::uint64_t posts = 0;       ///< envelopes posted (self-posts included)
-  std::uint64_t post_bytes = 0;  ///< payload bytes posted
+  std::atomic<std::uint64_t> posts{0};  ///< envelopes posted (self included)
+  std::atomic<std::uint64_t> post_bytes{0};  ///< payload bytes posted
 };
 
 class endpoint {
@@ -119,6 +122,15 @@ class endpoint {
   /// ygm::error. Called when a rank function throws so the rest of the
   /// world does not deadlock.
   virtual void abort_world() = 0;
+
+  /// Donated progress: called from the progress engine thread while ranks
+  /// compute. A backend with wire state to service (the socket backend's
+  /// send queues and receive pump) overrides this to advance it without
+  /// blocking; returns true if any bytes moved. The default no-op is
+  /// correct for backends whose post() completes delivery synchronously
+  /// (inproc). Overrides MUST be safe to call concurrently with the owning
+  /// rank's own endpoint calls — try-lock and bail beats blocking the rank.
+  virtual bool progress_hook() { return false; }
 
   // ------------------------------------------------------- collective hooks
   //

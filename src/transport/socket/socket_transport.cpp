@@ -161,6 +161,10 @@ void endpoint::handshake(const std::string& dir, const chaos_config* chaos) {
 }
 
 endpoint::~endpoint() {
+  // By teardown the progress engine is forbidden from touching this
+  // endpoint (comm_world::~comm_world shut the station down first), but the
+  // lock discipline is kept uniform anyway — it costs nothing here.
+  std::lock_guard lock(io_mtx_);
   const double deadline = monotonic_seconds() + (aborted_ ? 1.0 : 10.0);
 
   // Orderly teardown: flush what the world is owed, announce fin, then keep
@@ -211,6 +215,7 @@ void endpoint::post_to_peer(int dest, envelope&& e) {
     slot_.deliver(std::move(e));
     return;
   }
+  std::lock_guard lock(io_mtx_);
   auto& p = peers_[static_cast<std::size_t>(dest)];
   YGM_CHECK(p.fd >= 0 && !p.fin_sent, "post after socket teardown");
 
@@ -407,29 +412,39 @@ void endpoint::progress(int timeout_ms) {
 }
 
 envelope endpoint::recv_match(int src, int tag, std::uint64_t ctx) {
+  // Per-iteration locking: the mutex is released between pump intervals
+  // (and the intervals are short) so a concurrent progress-engine post is
+  // never starved for more than one poll timeout.
   for (;;) {
     bool delayed = false;
     if (auto e = slot_.try_recv_match(src, tag, ctx, &delayed)) {
       return std::move(*e);
     }
+    std::lock_guard lock(io_mtx_);
     YGM_CHECK(delayed || !all_peers_silent(),
               "socket recv would block forever: all peers finished and no "
               "matching message is queued");
     // A chaos-delayed match matures with the slot clock, which ticks on each
     // try above — poll briefly so the delay ages instead of waiting a full
     // interval for wire traffic that may never come.
-    progress(delayed ? 1 : 50);
+    progress(delayed ? 1 : 10);
   }
 }
 
 std::optional<envelope> endpoint::try_recv_match(int src, int tag,
                                                  std::uint64_t ctx) {
-  progress(0);
+  {
+    std::lock_guard lock(io_mtx_);
+    progress(0);
+  }
   return slot_.try_recv_match(src, tag, ctx);
 }
 
 std::optional<status> endpoint::iprobe(int src, int tag, std::uint64_t ctx) {
-  progress(0);
+  {
+    std::lock_guard lock(io_mtx_);
+    progress(0);
+  }
   return slot_.iprobe(src, tag, ctx);
 }
 
@@ -437,30 +452,46 @@ status endpoint::probe(int src, int tag, std::uint64_t ctx) {
   for (;;) {
     bool delayed = false;
     if (auto st = slot_.try_probe(src, tag, ctx, &delayed)) return *st;
+    std::lock_guard lock(io_mtx_);
     YGM_CHECK(delayed || !all_peers_silent(),
               "socket probe would block forever: all peers finished and no "
               "matching message is queued");
-    progress(delayed ? 1 : 50);
+    progress(delayed ? 1 : 10);
   }
 }
 
 std::size_t endpoint::pending() {
-  progress(0);
+  {
+    std::lock_guard lock(io_mtx_);
+    progress(0);
+  }
   return slot_.pending();
+}
+
+bool endpoint::progress_hook() {
+  // Never block the owning rank: if it is mid-operation, skip this pass.
+  std::unique_lock lock(io_mtx_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  const std::uint64_t before = wire_tx_bytes_ + wire_rx_bytes_;
+  progress(0);
+  return wire_tx_bytes_ + wire_rx_bytes_ != before;
 }
 
 double endpoint::wtime() const { return monotonic_seconds() - epoch_wtime_; }
 
 void endpoint::abort_world() {
-  if (!aborted_) {
-    aborted_ = true;
-    for (int r = 0; r < nranks_; ++r) {
-      if (r == rank_) continue;
-      auto& p = peers_[static_cast<std::size_t>(r)];
-      if (p.fd >= 0 && !p.eof) enqueue_control(p, frame_kind::abort);
+  {
+    std::lock_guard lock(io_mtx_);
+    if (!aborted_) {
+      aborted_ = true;
+      for (int r = 0; r < nranks_; ++r) {
+        if (r == rank_) continue;
+        auto& p = peers_[static_cast<std::size_t>(r)];
+        if (p.fd >= 0 && !p.eof) enqueue_control(p, frame_kind::abort);
+      }
+      // Best-effort: give the abort frames one brief pump to leave.
+      progress(0);
     }
-    // Best-effort: give the abort frames one brief pump to leave.
-    progress(0);
   }
   slot_.abort();
 }

@@ -35,6 +35,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -70,6 +71,11 @@ class endpoint final : public transport::endpoint {
 
   double wtime() const override;
   void abort_world() override;
+
+  /// Engine-donated progress: try-lock the I/O mutex (never block the rank
+  /// mid-operation) and run one nonblocking pump; reports whether any wire
+  /// bytes moved.
+  bool progress_hook() override;
 
   /// Seconds a rank will wait for the rest of the world to rendezvous.
   static constexpr double handshake_timeout_s = 30.0;
@@ -151,6 +157,13 @@ class endpoint final : public transport::endpoint {
 
   int rank_ = 0;
   int nranks_ = 1;
+  /// Serializes all wire-touching state (peers_, pollfds_, counters)
+  /// between the owning rank thread and the progress engine. Blocking
+  /// operations lock per pump iteration (with short poll timeouts) so the
+  /// engine's posts are never starved for long; the engine itself only ever
+  /// try-locks (progress_hook). mail_slot stays internally synchronized as
+  /// before.
+  std::mutex io_mtx_;
   mail_slot slot_;
   std::vector<peer_state> peers_;      // indexed by world rank; self unused
   std::vector<peer_channel> channels_;

@@ -25,7 +25,9 @@
 
 #include "core/hybrid_mailbox.hpp"
 #include "core/invariants.hpp"
+#include "core/launch.hpp"
 #include "core/mailbox.hpp"
+#include "core/progress.hpp"
 #include "mpisim/runtime.hpp"
 #include "ser/serialize.hpp"
 #include "telemetry/causal.hpp"
@@ -64,6 +66,11 @@ struct options {
   // Transport backend; unset = YGM_TRANSPORT passthrough (default inproc),
   // so a chaos recipe names its backend either way.
   std::optional<tp::backend_kind> backend;
+  // Progress modes to sweep; default polling only (the historical sweep).
+  // Engine trials wrap injection in a progress::guard so the engine
+  // competes with the rank threads for the same packets.
+  std::vector<ygm::progress::mode> progress_modes{
+      ygm::progress::mode::polling};
 };
 
 [[noreturn]] void usage(int code) {
@@ -79,6 +86,9 @@ struct options {
       "  --chaos M            light|heavy|both (default both)\n"
       "  --backend B          transport backend: inproc|socket (default:\n"
       "                       $YGM_TRANSPORT, else inproc)\n"
+      "  --progress M         polling|engine|both (default polling);\n"
+      "                       engine starts the dedicated progress thread\n"
+      "                       (untimed trials only get real engine help)\n"
       "  --topos NxC,..       machine shapes rotated per seed\n"
       "  --capacities a,b,..  mailbox capacities rotated per seed\n"
       "  --msgs N             p2p messages per rank per epoch (default 40)\n"
@@ -163,6 +173,20 @@ options parse(int argc, char** argv) {
       o.backend = *k;
     } else if (a == "--timed") {
       o.timed_modes = parse_on_off_both(need(i++), "--timed");
+    } else if (a == "--progress" || a.rfind("--progress=", 0) == 0) {
+      const auto v = a == "--progress" ? need(i++) : a.substr(11);
+      using ygm::progress::mode;
+      if (v == "both") {
+        o.progress_modes = {mode::polling, mode::engine};
+      } else if (const auto m = ygm::progress::mode_from_name(v)) {
+        o.progress_modes = {*m};
+      } else {
+        std::fprintf(stderr,
+                     "stress_ygm: --progress must be polling|engine|both, "
+                     "got '%s'\n",
+                     v.c_str());
+        std::exit(2);
+      }
     } else if (a == "--chaos") {
       const auto v = need(i++);
       if (v == "light" || v == "heavy") o.presets = {v};
@@ -213,15 +237,19 @@ chaos_config make_chaos(const options& o, const std::string& preset,
 
 template <template <class> class MailboxT>
 std::vector<std::string> run_one(const trial_config& t,
-                                 tp::backend_kind backend) {
-  // Violations come back through run_collect's serialized result channel:
-  // on the socket backend rank bodies live in forked processes, so a
+                                 tp::backend_kind backend,
+                                 ygm::progress::mode pmode) {
+  // Violations come back through the serialized result channel: on the
+  // socket backend rank bodies live in forked processes, so a
   // gather-to-rank-0 inside the world would never reach this process.
-  sim::run_options opts;
+  // ygm::launch_collect (not the deprecated sim::run_collect) so engine
+  // trials actually start the progress thread in every rank process.
+  ygm::run_options opts;
   opts.nranks = t.num_ranks();
   opts.backend = backend;
   opts.chaos = t.chaos;
-  const auto blobs = sim::run_collect(opts, [&](sim::comm& c) {
+  opts.progress_mode = pmode;
+  const auto blobs = ygm::launch_collect(opts, [&](sim::comm& c) {
     const auto local = run_chaos_trial<MailboxT>(c, t);
     std::vector<std::byte> out;
     ygm::ser::append_bytes(local, out);
@@ -266,6 +294,11 @@ int main(int argc, char** argv) {
   for (auto scheme : o.schemes) {
     for (const bool hybrid : o.hybrids) {
       for (const bool timed : o.timed_modes) {
+        for (const auto pmode : o.progress_modes) {
+          // The engine refuses to advance timed worlds (virtual time is
+          // rank-driven), so engine x timed would silently degenerate to
+          // polling; skip the cell rather than report a vacuous pass.
+          if (pmode == ygm::progress::mode::engine && timed) continue;
         for (const auto& preset : o.presets) {
           for (std::uint64_t s = 0; s < o.seeds; ++s) {
             const std::uint64_t seed = o.seed_base + s;
@@ -282,13 +315,14 @@ int main(int argc, char** argv) {
             t.bcasts_per_rank = o.bcasts;
             t.epochs = o.epochs;
             t.chaos = make_chaos(o, preset, seed);
+            t.use_progress_guard = pmode == ygm::progress::mode::engine;
 
             ++trials;
             std::vector<std::string> violations;
             try {
-              violations = hybrid
-                               ? run_one<ygm::core::hybrid_mailbox>(t, backend)
-                               : run_one<ygm::core::mailbox>(t, backend);
+              violations =
+                  hybrid ? run_one<ygm::core::hybrid_mailbox>(t, backend, pmode)
+                         : run_one<ygm::core::mailbox>(t, backend, pmode);
             } catch (const std::exception& e) {
               violations.push_back(std::string("exception: ") + e.what());
             }
@@ -296,25 +330,29 @@ int main(int argc, char** argv) {
               ++failures;
               const std::string scheme_name(
                   ygm::routing::to_string(t.scheme));
+              const std::string pmode_name(ygm::progress::to_string(pmode));
               std::fprintf(stderr,
-                           "FAIL backend=%s mailbox=%s chaos=%s %s\n"
+                           "FAIL backend=%s mailbox=%s chaos=%s progress=%s"
+                           " %s\n"
                            "     replay: stress_ygm --seeds 1 --seed-base %llu"
                            " --schemes %s --mailboxes %s --timed %s --chaos"
                            " %s --msgs %d --bcasts %d --epochs %d"
-                           " --backend %s\n",
+                           " --backend %s --progress %s\n",
                            backend_name.c_str(),
                            hybrid ? "hybrid" : "mailbox", preset.c_str(),
-                           t.describe().c_str(),
+                           pmode_name.c_str(), t.describe().c_str(),
                            static_cast<unsigned long long>(seed),
                            scheme_name.c_str(),
                            hybrid ? "hybrid" : "mailbox",
                            timed ? "on" : "off", preset.c_str(), o.msgs,
-                           o.bcasts, o.epochs, backend_name.c_str());
+                           o.bcasts, o.epochs, backend_name.c_str(),
+                           pmode_name.c_str());
               for (const auto& v : violations) {
                 std::fprintf(stderr, "     %s\n", v.c_str());
               }
             }
           }
+        }
         }
       }
     }
