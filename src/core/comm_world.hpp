@@ -86,6 +86,16 @@ class comm_world {
   }
   bool serialize_self_sends() const noexcept { return serialize_self_sends_; }
 
+  // ------------------------------------------------------- flow control
+
+  /// Per-destination credit budget in bytes for mailboxes built on this
+  /// world (docs/BACKPRESSURE.md). Resolved at construction as
+  /// run_options::credit_bytes > YGM_CREDIT_BYTES > 1 MiB; 0 disables
+  /// credit gating. Override BEFORE building mailboxes (they snapshot it,
+  /// clamped to at least twice their flush capacity).
+  std::size_t credit_bytes() const noexcept { return credit_bytes_; }
+  void set_credit_bytes(std::size_t bytes) noexcept { credit_bytes_ = bytes; }
+
   // -------------------------------------------------------- virtual time
   //
   // Optional conservative virtual-time simulation: when a network model is
@@ -136,6 +146,7 @@ class comm_world {
   std::shared_ptr<progress::station> station_;
   int next_tag_;
   bool serialize_self_sends_ = false;
+  std::size_t credit_bytes_ = 0;  // resolved in the constructor
   std::optional<net::network_params> vnet_;
   double vclock_ = 0;
 };

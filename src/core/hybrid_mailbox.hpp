@@ -27,6 +27,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -77,6 +78,7 @@ struct shared_record {
 class shared_inbox {
  public:
   void push(shared_record&& rec) {
+    bytes_.fetch_add(rec.payload->size(), std::memory_order_relaxed);
     std::lock_guard lock(mtx_);
     q_.push_back(std::move(rec));
   }
@@ -86,13 +88,27 @@ class shared_inbox {
   /// steady state allocates nothing.
   void drain(std::vector<shared_record>& out) {
     out.clear();
-    std::lock_guard lock(mtx_);
-    q_.swap(out);
+    {
+      std::lock_guard lock(mtx_);
+      q_.swap(out);
+    }
+    std::size_t drained = 0;
+    for (const auto& rec : out) drained += rec.payload->size();
+    bytes_.fetch_sub(drained, std::memory_order_relaxed);
+  }
+
+  /// Undelivered payload bytes currently queued. Peers read this for
+  /// flow control: the zero-copy handoff has no reverse packet traffic to
+  /// piggyback credit on, so the budget is enforced against the receiver's
+  /// inbox depth directly (docs/BACKPRESSURE.md).
+  std::size_t queued_bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
   }
 
  private:
   std::mutex mtx_;
   std::vector<shared_record> q_;
+  std::atomic<std::size_t> bytes_{0};
 };
 
 }  // namespace detail
@@ -112,11 +128,17 @@ class hybrid_mailbox {
         inbox_(std::make_unique<detail::shared_inbox>()),
         buffers_(static_cast<std::size_t>(world.size())),
         record_counts_(static_cast<std::size_t>(world.size()), 0),
+        credit_budget_(world.credit_bytes() == 0
+                           ? 0
+                           : std::max(world.credit_bytes(), 2 * capacity_bytes)),
+        credit_ack_threshold_(credit_budget_ / 4),
+        credit_used_(static_cast<std::size_t>(world.size()), 0),
+        credit_owed_(static_cast<std::size_t>(world.size()), 0),
         pending_traces_(static_cast<std::size_t>(world.size())) {
     YGM_CHECK(capacity_ > 0, "mailbox capacity must be positive");
     YGM_CHECK(on_recv_ != nullptr, "mailbox requires a receive callback");
-    YGM_CHECK(world.size() < packet_trace_escape,
-              "world size collides with the reserved trace-annotation rank");
+    YGM_CHECK(world.size() < packet_credit_escape,
+              "world size collides with the reserved escape-record ranks");
     // Collective setup: publish every rank's inbox address. The hybrid
     // design assumes node-local ranks share an address space (threads of
     // one process); only then are the exchanged pointers usable. On a
@@ -179,7 +201,7 @@ class hybrid_mailbox {
 
   void send(int dest, const Msg& m) {
     YGM_CHECK(dest >= 0 && dest < world_->size(), "send destination invalid");
-    const auto lk = engine_lock();
+    auto lk = engine_lock();
     ++stats_.app_sends;
     if (dest == world_->rank()) {
       if (world_->serialize_self_sends()) {
@@ -203,9 +225,11 @@ class hybrid_mailbox {
     // shared record. A remote next hop serializes in place straight into
     // the coalescing buffer — no shared_ptr, no payload vector.
     const int nh = world_->route().next_hop(world_->rank(), dest);
+    credit_gate(nh, lk);
     if (shared_space_ && world_->topo().same_node(world_->rank(), nh)) {
       auto payload = std::make_shared<std::vector<std::byte>>();
       ser::append_bytes(m, *payload);
+      len_hint_ = payload->size();  // seeds the local credit gate's estimate
       detail::shared_record rec{std::move(payload), dest, false};
       rec.traced = traced;
       rec.tctx = tc;
@@ -231,12 +255,16 @@ class hybrid_mailbox {
   }
 
   void send_bcast(const Msg& m) {
-    const auto lk = engine_lock();
+    auto lk = engine_lock();
     ++stats_.app_bcasts;
     auto payload = std::make_shared<std::vector<std::byte>>();
     ser::append_bytes(m, *payload);
     const int me = world_->rank();
-    for (int nh : world_->route().bcast_next_hops(me, me)) {
+    const auto hops = world_->route().bcast_next_hops(me, me);
+    // Gate every hop before the first handoff: injection-side backpressure
+    // only, and never mid-fan-out.
+    for (const int nh : hops) credit_gate(nh, lk);
+    for (const int nh : hops) {
       forward(nh, detail::shared_record{payload, me, true});
     }
     maybe_exchange();
@@ -288,7 +316,8 @@ class hybrid_mailbox {
     if (!engine_mode_) {
       while (!test_empty()) {
         wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
-                 queued_bytes_});
+                 queued_bytes_, credit_budget_, credit_max_in_flight(),
+                 stats_.credit_stalls});
         std::this_thread::yield();
       }
     } else {
@@ -300,7 +329,8 @@ class hybrid_mailbox {
         park_cv_.wait_for(lk, std::chrono::milliseconds(1));
         pump_->parked.store(false, std::memory_order_release);
         wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
-                 queued_bytes_});
+                 queued_bytes_, credit_budget_, credit_max_in_flight(),
+                 stats_.credit_stalls});
       }
     }
     sp.arg("hops_sent", stats_.hops_sent);
@@ -312,6 +342,13 @@ class hybrid_mailbox {
 
   /// Zero-copy local handoffs performed (the copies the hybrid saved).
   std::uint64_t shared_handoffs() const noexcept { return shared_handoffs_; }
+
+  /// Effective per-destination flow-control budget (0 = credit disabled);
+  /// clamped to >= 2x capacity like core::mailbox.
+  std::size_t credit_budget() const noexcept { return credit_budget_; }
+  /// High-water mark of the bounded quantity: unacked in-flight bytes on
+  /// remote links, destination-inbox depth on zero-copy local links.
+  std::uint64_t credit_peak_in_flight() const noexcept { return credit_peak_; }
 
  private:
   // Route one record to its next hop: shared-memory handoff if local,
@@ -339,6 +376,13 @@ class hybrid_mailbox {
                                           /*remote=*/false);
       }
       peer_inboxes_[static_cast<std::size_t>(next_hop)]->push(std::move(rec));
+      if (credit_on()) {
+        // Track the inbox high-water mark the same way the remote links
+        // track unacked bytes: it is the quantity the budget bounds.
+        const std::size_t q =
+            peer_inboxes_[static_cast<std::size_t>(next_hop)]->queued_bytes();
+        if (q > credit_peak_) credit_peak_ = q;
+      }
       return;
     }
     std::size_t before = 0;
@@ -416,9 +460,140 @@ class hybrid_mailbox {
     }
   }
 
+  // -------------------------------------------------------- flow control
+  //
+  // Remote links run the same credit protocol as core::mailbox: packets
+  // are charged at flush and the receiver returns the bytes (piggybacked
+  // packet_credit_escape record, or a standalone ack on credit_tag()). The
+  // zero-copy local handoff has no reverse packet stream to piggyback on,
+  // so local links are bounded directly against the destination inbox's
+  // byte depth — the shared address space makes the receiver's queue
+  // observable, which is exactly the signal credit acks reconstruct for
+  // remote links. Injection only (send/send_bcast): transit forwarding and
+  // nested sends from callbacks are never gated (docs/BACKPRESSURE.md).
+
+  bool credit_on() const noexcept { return credit_budget_ != 0; }
+  int credit_tag() const noexcept { return data_tag_ + 1; }
+
+  bool credit_link_local(int nh) const {
+    return shared_space_ && world_->topo().same_node(world_->rank(), nh);
+  }
+
+  /// Max unacked bytes across remote links (stall reports / postmortem).
+  std::uint64_t credit_max_in_flight() const noexcept {
+    if (!credit_on()) return 0;
+    return *std::max_element(credit_used_.begin(), credit_used_.end());
+  }
+
+  /// Caller-side backpressure; see core::mailbox::credit_gate for the
+  /// stall-loop discipline (drain + ack + engine-lock release per spin).
+  void credit_gate(int next_hop, std::unique_lock<std::recursive_mutex>& lk) {
+    if (!credit_on()) return;
+    if (in_exchange_.load(std::memory_order_relaxed)) return;
+    const std::size_t hop = static_cast<std::size_t>(next_hop);
+    const bool local = credit_link_local(next_hop);
+    const std::size_t next_cost =
+        packet_record_size(next_hop, len_hint_) + sizeof(double) +
+        packet_record_size(packet_trace_escape,
+                           telemetry::causal::wire_ctx_bytes) +
+        packet_record_size(packet_credit_escape, sizeof(std::uint64_t));
+    const auto over = [&] {
+      if (local) {
+        // len_hint_ tracks the previous payload size on this path too, so
+        // steady streams never push the inbox past the budget. An empty
+        // inbox always admits one record (a payload larger than the whole
+        // budget must not livelock — the consumer drains independently).
+        const std::size_t q = peer_inboxes_[hop]->queued_bytes();
+        return q != 0 && q + len_hint_ > credit_budget_;
+      }
+      // Idle-link exception, as in core::mailbox::credit_gate: one record
+      // may always be in flight or budgets below one record livelock.
+      if (credit_used_[hop] == 0 && buffers_[hop].empty()) return false;
+      return credit_used_[hop] + buffers_[hop].size() + next_cost >
+             credit_budget_;
+    };
+    if (!over()) [[likely]] return;
+    ++stats_.credit_stalls;
+    const double start_us = telemetry::now_us();
+    do {
+      drain_credit_acks();
+      poll_incoming();
+      flush_credit_acks(/*force=*/true);
+      // Remote deficit that is entirely our own unflushed buffer: ship it
+      // so the receiver can ack it (see core::mailbox::credit_gate).
+      // Mirrors flush()'s bookkeeping for the one link.
+      if (!local && credit_used_[hop] == 0 && !buffers_[hop].empty()) {
+        queued_bytes_ -= buffers_[hop].size();
+        nonempty_.erase(
+            std::find(nonempty_.begin(), nonempty_.end(), next_hop));
+        flush_buffer(next_hop);
+      }
+      if (lk.owns_lock()) {
+        drain_deferred_locked();
+        lk.unlock();
+        std::this_thread::yield();
+        lk.lock();
+      } else {
+        std::this_thread::yield();
+      }
+    } while (over());
+    telemetry::causal::record_credit_stall(
+        next_hop, start_us,
+        local ? peer_inboxes_[hop]->queued_bytes() : credit_used_[hop]);
+  }
+
+  void credit_charge(int nh, std::size_t bytes) {
+    if (!credit_on()) return;
+    auto& used = credit_used_[static_cast<std::size_t>(nh)];
+    used += bytes;
+    if (used > credit_peak_) credit_peak_ = used;
+  }
+
+  void credit_consume_ack(int from, std::uint64_t amount) {
+    auto& used = credit_used_[static_cast<std::size_t>(from)];
+    used -= std::min(used, amount);
+  }
+
+  void drain_credit_acks() {
+    if (!credit_on()) return;
+    auto& mpi = world_->mpi();
+    while (auto st = mpi.iprobe(mpisim::any_source, credit_tag())) {
+      auto ack = mpi.recv_bytes(st->source, credit_tag());
+      std::uint64_t amount = 0;
+      YGM_CHECK(ack.size() == sizeof(amount), "malformed credit ack");
+      std::memcpy(&amount, ack.data(), sizeof(amount));
+      credit_consume_ack(st->source, amount);
+      buffer_pool::local().release(std::move(ack));
+    }
+  }
+
+  void flush_credit_acks(bool force) {
+    if (!credit_on()) return;
+    for (int r = 0; r < static_cast<int>(credit_owed_.size()); ++r) {
+      auto& owed = credit_owed_[static_cast<std::size_t>(r)];
+      if (owed == 0 || (!force && owed < credit_ack_threshold_)) continue;
+      auto ack = buffer_pool::local().acquire(sizeof(std::uint64_t));
+      ack.resize(sizeof(std::uint64_t));
+      std::memcpy(ack.data(), &owed, sizeof(std::uint64_t));
+      owed = 0;
+      world_->mpi().send_bytes(r, credit_tag(), std::move(ack));
+    }
+  }
+
   void flush_buffer(int nh) {
     auto& buf = buffers_[static_cast<std::size_t>(nh)];
     YGM_ASSERT(!buf.empty());
+    // Piggyback this link's owed credit on the outgoing packet (one escape
+    // record, zero extra messages), before the byte counters below.
+    if (credit_on()) {
+      auto& owed = credit_owed_[static_cast<std::size_t>(nh)];
+      if (owed != 0) {
+        std::array<std::byte, sizeof(std::uint64_t)> amount;
+        std::memcpy(amount.data(), &owed, sizeof(std::uint64_t));
+        packet_append(buf, /*is_bcast=*/false, packet_credit_escape, amount);
+        owed = 0;
+      }
+    }
     // Without a shared address space every hop coalesces, node-local ones
     // included, so the buffer's destination need not be topologically
     // remote.
@@ -444,6 +619,7 @@ class hybrid_mailbox {
           world_->virtual_charge_packet(buf.size(), /*remote=*/true);
       std::memcpy(buf.data(), &arrival, sizeof(double));
     }
+    credit_charge(nh, buf.size());
     // Moved-from: empty, no capacity; the next record re-acquires from the
     // pool (the receiver releases the drained packet to its own pool).
     world_->mpi().send_bytes(nh, data_tag_, std::move(buf));
@@ -485,8 +661,13 @@ class hybrid_mailbox {
   /// Parse one received wire packet: rewrap each record into a shared
   /// record (one copy — the unavoidable deserialization of wire bytes) and
   /// hand it to handle_record.
-  void handle_remote_packet(const std::vector<std::byte>& packet,
+  void handle_remote_packet(const std::vector<std::byte>& packet, int from,
                             std::vector<detail::shared_record>* defer_batch) {
+    // Flow control: every received byte is owed back to its sender once
+    // this drain pass has consumed it.
+    if (credit_on()) {
+      credit_owed_[static_cast<std::size_t>(from)] += packet.size();
+    }
     std::span<const std::byte> body(packet.data(), packet.size());
     if (world_->timed()) {
       double arrival = 0;
@@ -506,6 +687,16 @@ class hybrid_mailbox {
         have_trace = true;
         continue;  // metadata, not a message hop
       }
+      if (packet_record_is_credit(rec)) {
+        // Piggybacked credit return: link-local, consumed here, never
+        // forwarded, not a message hop.
+        std::uint64_t amount = 0;
+        YGM_CHECK(rec.payload.size() == sizeof(amount),
+                  "malformed credit record");
+        std::memcpy(&amount, rec.payload.data(), sizeof(amount));
+        credit_consume_ack(from, amount);
+        continue;
+      }
       ++stats_.hops_received;
       world_->virtual_charge_events(1);
       auto payload = std::make_shared<std::vector<std::byte>>(
@@ -523,13 +714,14 @@ class hybrid_mailbox {
 
   // The raw drain loop; caller must already hold in_exchange_.
   void drain_incoming() {
+    drain_credit_acks();
     // Shared-memory records first (they are the cheap path).
     drain_inbox();
 
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
       auto packet = mpi.recv_bytes(st->source, data_tag_);
-      handle_remote_packet(packet, nullptr);
+      handle_remote_packet(packet, st->source, nullptr);
       // Every record was rewrapped (copied), so the packet's capacity can
       // be recycled.
       buffer_pool::local().release(std::move(packet));
@@ -538,6 +730,7 @@ class hybrid_mailbox {
       // poll (or the termination rounds).
     }
     drain_inbox();
+    flush_credit_acks(/*force=*/false);
   }
 
   /// `defer_batch` non-null (engine thread, deferred-delivery policy):
@@ -614,6 +807,9 @@ class hybrid_mailbox {
     if (engine_mode_) drain_deferred_locked();
     poll_incoming();
     flush();
+    // Return all owed credit eagerly: a peer stalled in credit_gate cannot
+    // reach its own wait_empty (see core::mailbox).
+    flush_credit_acks(/*force=*/true);
     if (quiescence_seen_) {
       quiescence_seen_ = false;
       return true;
@@ -655,6 +851,7 @@ class hybrid_mailbox {
   /// and inbox records keep flowing through forwarding only.
   bool engine_drain(bool inline_deliveries) {
     if (!inline_deliveries && deferred_->full()) return false;
+    drain_credit_acks();
     std::vector<detail::shared_record> batch;
     auto* defer_batch = inline_deliveries ? nullptr : &batch;
     engine_batch_bytes_ = 0;
@@ -662,11 +859,12 @@ class hybrid_mailbox {
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
       auto packet = mpi.recv_bytes(st->source, data_tag_);
-      handle_remote_packet(packet, defer_batch);
+      handle_remote_packet(packet, st->source, defer_batch);
       buffer_pool::local().release(std::move(packet));
       did = true;
       if (engine_batch_bytes_ >= capacity_) break;  // bound one pass
     }
+    flush_credit_acks(/*force=*/false);
     if (!batch.empty()) {
       telemetry::count("progress.deferred_batches");
       // Single producer + the full() check above: this push cannot fail.
@@ -736,6 +934,14 @@ class hybrid_mailbox {
   /// unguarded poll() early-out as core::mailbox.
   std::atomic<bool> in_exchange_{false};
   std::uint64_t shared_handoffs_ = 0;
+
+  // Flow-control state (see the flow-control section above); guarded like
+  // the rest of the mailbox. Zero-cost when credit_budget_ == 0.
+  std::size_t credit_budget_ = 0;        ///< per-link byte budget (0 = off)
+  std::size_t credit_ack_threshold_ = 0; ///< eager standalone-ack watermark
+  std::vector<std::uint64_t> credit_used_;  ///< unacked bytes, per next hop
+  std::vector<std::uint64_t> credit_owed_;  ///< drained-not-acked, per source
+  std::uint64_t credit_peak_ = 0;           ///< bounded quantity's high water
 
   // Progress-engine state (see core::mailbox for the full discipline). In
   // polling mode only station_/pump_ are live.

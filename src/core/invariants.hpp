@@ -23,6 +23,7 @@
 // can print the failing seed/recipe and keep going.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <sstream>
@@ -270,6 +271,16 @@ struct trial_config {
   /// the traffic into engine stealing when a progress engine is installed
   /// (a no-op marker in polling mode — the sweep matrix runs both).
   bool use_progress_guard = false;
+  /// Per-destination flow-control budget for the trial's mailboxes; 0
+  /// leaves the world's resolved default (env/launch) in place. Nonzero
+  /// values exercise the credit gate under chaos — the ledger then proves
+  /// backpressure never breaks exactly-once or termination.
+  std::size_t credit_bytes = 0;
+  /// Nonzero: rank 0 additionally floods the last rank with p2p traffic
+  /// paced to approximately this many bytes per second — the asymmetric
+  /// hot-producer/slow-consumer pattern that exposed unbounded buffer
+  /// growth. The ledger verifies the flood like any other traffic.
+  std::size_t flood_bytes_per_s = 0;
   mpisim::chaos_config chaos;
 
   int num_ranks() const { return nodes * cores; }
@@ -281,6 +292,7 @@ struct trial_config {
        << " timed=" << int(timed) << " selfser=" << int(serialize_self_sends)
        << " msgs=" << msgs_per_rank << " bcasts=" << bcasts_per_rank
        << " epochs=" << epochs << " guard=" << int(use_progress_guard)
+       << " credit=" << credit_bytes << " flood=" << flood_bytes_per_s
        << " chaos={" << chaos.describe() << "}";
     return os.str();
   }
@@ -304,6 +316,7 @@ std::vector<std::string> run_chaos_trial(mpisim::comm& c,
     world.attach_virtual_network(net::network_params::quartz_like());
   }
   world.set_serialize_self_sends(t.serialize_self_sends);
+  if (t.credit_bytes != 0) world.set_credit_bytes(t.credit_bytes);
 
   delivery_ledger ledger(c.rank(), c.size());
   MailboxT<probe_msg> mb(
@@ -329,6 +342,33 @@ std::vector<std::string> run_chaos_trial(mpisim::comm& c,
       for (int b = 0; b < t.bcasts_per_rank; ++b) {
         mb.send_bcast(
             ledger.make_bcast(static_cast<std::size_t>(rng.below(32))));
+      }
+      // Flood phase: rank 0 hammers the last rank with paced traffic. The
+      // consumer injects nothing extra and drains only at the epoch's
+      // quiescence point, so the producer genuinely outruns it — the credit
+      // gate (when on) is what keeps its queues bounded.
+      if (t.flood_bytes_per_s != 0 && c.rank() == 0 && c.size() > 1) {
+        const int dest = c.size() - 1;
+        constexpr std::size_t kFiller = 40;
+        // Approximate wire cost per message: the ledger payload plus the
+        // packet record framing; pacing only needs to be roughly right.
+        const double bytes_per_msg = static_cast<double>(kFiller) + 24.0;
+        const auto start = std::chrono::steady_clock::now();
+        double sent = 0;
+        for (int i = 0; i < t.msgs_per_rank * 4; ++i) {
+          mb.send(dest, ledger.make_p2p(dest, kFiller));
+          sent += bytes_per_msg;
+          const double target_s =
+              sent / static_cast<double>(t.flood_bytes_per_s);
+          const double elapsed_s =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+          if (target_s > elapsed_s) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(target_s - elapsed_s));
+          }
+        }
       }
     }
 

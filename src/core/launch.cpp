@@ -15,23 +15,30 @@ namespace {
 // run — both backends therefore see a stable value for the whole run
 // without synchronization.
 std::optional<net::network_params> g_launch_vnet;
+std::optional<std::size_t> g_launch_credit_bytes;
 
 struct scoped_run_defaults {
   explicit scoped_run_defaults(const run_options& opts)
-      : prev_sample_(telemetry::causal::sample_rate()) {
+      : prev_sample_(telemetry::causal::sample_rate()),
+        prev_outq_cap_(transport::outq_cap_bytes()) {
     if (opts.virtual_network) g_launch_vnet = *opts.virtual_network;
     if (opts.trace_sample) {
       YGM_CHECK(*opts.trace_sample >= 0.0 && *opts.trace_sample <= 1.0,
                 "run_options::trace_sample must be in [0, 1]");
       telemetry::causal::set_sample_rate(*opts.trace_sample);
     }
+    if (opts.credit_bytes) g_launch_credit_bytes = *opts.credit_bytes;
+    if (opts.outq_cap_bytes) transport::set_outq_cap_bytes(*opts.outq_cap_bytes);
   }
   ~scoped_run_defaults() {
     g_launch_vnet.reset();
+    g_launch_credit_bytes.reset();
     telemetry::causal::set_sample_rate(prev_sample_);
+    transport::set_outq_cap_bytes(prev_outq_cap_);
   }
 
   double prev_sample_;
+  std::size_t prev_outq_cap_;
 };
 
 mpisim::run_options to_mpisim_options(const run_options& opts) {
@@ -81,6 +88,10 @@ namespace detail {
 
 const std::optional<net::network_params>& launch_virtual_network() noexcept {
   return g_launch_vnet;
+}
+
+const std::optional<std::size_t>& launch_credit_bytes() noexcept {
+  return g_launch_credit_bytes;
 }
 
 }  // namespace detail

@@ -22,6 +22,8 @@
 //   progress_mode    YGM_PROGRESS        polling
 //   trace_sample     YGM_TRACE_SAMPLE    0 (tracing off)
 //   virtual_network  (none)              untimed
+//   credit_bytes     YGM_CREDIT_BYTES    1 MiB per destination (0 = off)
+//   outq_cap_bytes   YGM_OUTQ_CAP_BYTES  4 MiB per channel (0 = off)
 //
 // (YGM_STALL_TIMEOUT_MS keeps its env-only path — it is a debugging
 // deadman, not a run parameter.)
@@ -79,6 +81,17 @@ struct run_options {
   /// the attach_virtual_network contract). Timed worlds never receive
   /// engine help — the virtual clock is rank-thread state.
   std::optional<net::network_params> virtual_network;
+
+  /// Per-destination mailbox credit budget in bytes (flow control,
+  /// docs/BACKPRESSURE.md); nullopt defers to YGM_CREDIT_BYTES (default
+  /// 1 MiB). 0 disables credit gating. Mailboxes clamp the effective budget
+  /// to at least twice their flush capacity so acks stay live.
+  std::optional<std::size_t> credit_bytes;
+
+  /// Channel-level outbound byte cap enforced by the transport backends
+  /// beneath the credit budget; nullopt defers to YGM_OUTQ_CAP_BYTES
+  /// (default 4 MiB). 0 disables the cap.
+  std::optional<std::size_t> outq_cap_bytes;
 };
 
 /// Run `fn(world_comm)` on opts.nranks ranks. Blocks until every rank
@@ -100,6 +113,12 @@ namespace detail {
 /// this so every world built during a timed launch is timed. Set before
 /// rank threads spawn / children fork; read-only during the run.
 const std::optional<net::network_params>& launch_virtual_network() noexcept;
+
+/// The launch-scoped credit-budget override (nullopt outside a launch with
+/// run_options::credit_bytes set). comm_world's constructor consults this,
+/// then YGM_CREDIT_BYTES, then the 1 MiB default. Same set-before-spawn /
+/// fork-inheritance discipline as launch_virtual_network.
+const std::optional<std::size_t>& launch_credit_bytes() noexcept;
 
 }  // namespace detail
 }  // namespace ygm

@@ -40,6 +40,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -86,15 +87,22 @@ class mailbox {
       : world_(&world),
         on_recv_(std::move(on_recv)),
         capacity_(capacity_bytes),
-        data_tag_(world.reserve_tag_block(1 + termination_detector::tags_used)),
-        term_(world, data_tag_ + 1),
+        // Tag block: data, credit acks, then the termination detector.
+        data_tag_(world.reserve_tag_block(2 + termination_detector::tags_used)),
+        term_(world, data_tag_ + 2),
         buffers_(static_cast<std::size_t>(world.size())),
         record_counts_(static_cast<std::size_t>(world.size()), 0),
+        credit_budget_(world.credit_bytes() == 0
+                           ? 0
+                           : std::max(world.credit_bytes(), 2 * capacity_bytes)),
+        credit_ack_threshold_(credit_budget_ / 4),
+        credit_used_(static_cast<std::size_t>(world.size()), 0),
+        credit_owed_(static_cast<std::size_t>(world.size()), 0),
         pending_traces_(static_cast<std::size_t>(world.size())) {
     YGM_CHECK(capacity_ > 0, "mailbox capacity must be positive");
     YGM_CHECK(on_recv_ != nullptr, "mailbox requires a receive callback");
-    YGM_CHECK(world.size() < packet_trace_escape,
-              "world size collides with the reserved trace-annotation rank");
+    YGM_CHECK(world.size() < packet_credit_escape,
+              "world size collides with the reserved escape-record ranks");
     // Register with the rank's progress station. Engine mode needs an
     // attached engine AND an untimed world — the virtual clock is
     // rank-thread state no other thread may advance. Timed (or polling)
@@ -135,7 +143,7 @@ class mailbox {
   /// to self are delivered immediately through the callback.
   void send(int dest, const Msg& m) {
     YGM_CHECK(dest >= 0 && dest < world_->size(), "send destination invalid");
-    const auto lk = engine_lock();
+    auto lk = engine_lock();
     ++stats_.app_sends;
     if (dest == world_->rank()) {
       if (world_->serialize_self_sends()) {
@@ -164,6 +172,7 @@ class mailbox {
     // slot (no scratch round-trip). The previous payload size seeds the
     // length-slot width, so fixed-size message streams never shift bytes.
     const int nh = world_->route().next_hop(world_->rank(), dest);
+    credit_gate(nh, lk);
     world_->virtual_charge_events(1);
     std::size_t before = 0;
     auto& buf = begin_record(nh, before);
@@ -185,11 +194,14 @@ class mailbox {
   /// exactly once at every rank except the origin, along the routing
   /// scheme's broadcast tree.
   void send_bcast(const Msg& m) {
-    const auto lk = engine_lock();
+    auto lk = engine_lock();
     ++stats_.app_bcasts;
     const int me = world_->rank();
     const auto hops = world_->route().bcast_next_hops(me, me);
     if (hops.empty()) return;
+    // Gate every hop before the first record exists: a mid-fan-out stall
+    // would pump progress while holding a span into a coalescing buffer.
+    for (const int nh : hops) credit_gate(nh, lk);
     // Serialize once, in place, into the first hop's buffer; the siblings
     // copy that record's payload span. The inline-flush check is deferred
     // past the fan-out so a mid-loop flush cannot invalidate the span.
@@ -275,7 +287,8 @@ class mailbox {
     if (!engine_mode_) {
       while (!test_empty()) {
         wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
-                 queued_bytes_});
+                 queued_bytes_, credit_budget_, credit_max_in_flight(),
+                 stats_.credit_stalls});
         std::this_thread::yield();
       }
     } else {
@@ -292,7 +305,8 @@ class mailbox {
         park_cv_.wait_for(lk, std::chrono::milliseconds(1));
         pump_->parked.store(false, std::memory_order_release);
         wd.poll({stats_.hops_sent, stats_.hops_received, term_.rounds(),
-                 queued_bytes_});
+                 queued_bytes_, credit_budget_, credit_max_in_flight(),
+                 stats_.credit_stalls});
       }
     }
     sp.arg("hops_sent", stats_.hops_sent);
@@ -305,6 +319,14 @@ class mailbox {
   comm_world& world() const noexcept { return *world_; }
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t queued_bytes() const noexcept { return queued_bytes_; }
+  /// Effective per-destination flow-control budget (0 = credit disabled).
+  /// May exceed comm_world::credit_bytes(): clamped to >= 2x capacity so a
+  /// stalled sender's unacked bytes always cross the receiver's eager-ack
+  /// threshold (docs/BACKPRESSURE.md).
+  std::size_t credit_budget() const noexcept { return credit_budget_; }
+  /// High-water mark of unacked in-flight bytes toward any one destination;
+  /// with credit on this never exceeds credit_budget().
+  std::uint64_t credit_peak_in_flight() const noexcept { return credit_peak_; }
 
  private:
   // ------------------------------------------------- record-append pieces
@@ -406,9 +428,151 @@ class mailbox {
     }
   }
 
+  // -------------------------------------------------------- flow control
+  //
+  // Credit-based per-destination backpressure (docs/BACKPRESSURE.md). Each
+  // (this rank, next hop) link has a byte budget; flush_buffer charges every
+  // outgoing packet against it and the receiver returns the bytes — as a
+  // packet_credit_escape record piggybacked on reverse data traffic, or as
+  // a standalone ack on credit_tag() when none flows — once it has drained
+  // them. send()/send_bcast() stall *injection* (and only injection: transit
+  // forwarding, flushes, and nested sends from receive callbacks are never
+  // gated, which is what makes the protocol deadlock-free) while a link's
+  // unacked + locally-queued bytes would exceed the budget.
+
+  bool credit_on() const noexcept { return credit_budget_ != 0; }
+  int credit_tag() const noexcept { return data_tag_ + 1; }
+
+  /// Max unacked bytes across links (watchdog postmortem / stall reports).
+  std::uint64_t credit_max_in_flight() const noexcept {
+    if (!credit_on()) return 0;
+    return *std::max_element(credit_used_.begin(), credit_used_.end());
+  }
+
+  /// Caller-side backpressure: before injecting a record toward `next_hop`,
+  /// pump progress until the link fits it. The predicted cost deliberately
+  /// overshoots (arrival stamp + trace escape + piggybacked ack headroom)
+  /// so the budget is never exceeded for steady record sizes; a growing
+  /// payload can overshoot by at most one record. While stalled the rank
+  /// keeps receiving, forwarding, and acking — a flooded peer that is
+  /// itself stalled still returns our credit, so symmetric floods resolve.
+  void credit_gate(int next_hop, std::unique_lock<std::recursive_mutex>& lk) {
+    if (!credit_on()) return;
+    // Nested injection from a receive callback runs under the exchange
+    // claim; gating it would stall the drain loop that has to free credit.
+    if (in_exchange_.load(std::memory_order_relaxed)) return;
+    const std::size_t hop = static_cast<std::size_t>(next_hop);
+    const std::size_t next_cost =
+        packet_record_size(next_hop, len_hint_) + sizeof(double) +
+        packet_record_size(packet_trace_escape,
+                           telemetry::causal::wire_ctx_bytes) +
+        packet_record_size(packet_credit_escape, sizeof(std::uint64_t));
+    const auto over = [&] {
+      // Idle-link exception: with nothing buffered or unacked, one record
+      // may always proceed, else a budget smaller than a single record
+      // (tiny clamped budgets) could never admit anything — a livelock,
+      // not backpressure. Peak then degrades to max(budget, one record).
+      if (credit_used_[hop] == 0 && buffers_[hop].empty()) return false;
+      return credit_used_[hop] + buffers_[hop].size() + next_cost >
+             credit_budget_;
+    };
+    if (!over()) [[likely]] return;
+    ++stats_.credit_stalls;
+    const double start_us = telemetry::now_us();
+    do {
+      drain_credit_acks();
+      poll_incoming();
+      flush_credit_acks(/*force=*/true);
+      // If the whole deficit is our own unflushed buffer, ship it: nothing
+      // else flushes while we stall, and the receiver can only ack bytes
+      // that are on the wire. Used becomes nonzero, acks drain it to zero,
+      // and the idle-link exception above then admits the send. Mirrors
+      // flush()'s bookkeeping for the one link.
+      if (credit_used_[hop] == 0 && !buffers_[hop].empty()) {
+        queued_bytes_ -= buffers_[hop].size();
+        nonempty_.erase(
+            std::find(nonempty_.begin(), nonempty_.end(), next_hop));
+        flush_buffer(next_hop);
+      }
+      if (lk.owns_lock()) {
+        // Engine mode: consume deferred deliveries and release mx_ across
+        // the backoff so the engine can drain on our behalf.
+        drain_deferred_locked();
+        lk.unlock();
+        std::this_thread::yield();
+        lk.lock();
+      } else {
+        std::this_thread::yield();
+      }
+    } while (over());
+    telemetry::causal::record_credit_stall(next_hop, start_us,
+                                           credit_used_[hop]);
+  }
+
+  /// Charge one flushed packet against its link (no-op with credit off).
+  void credit_charge(int nh, std::size_t bytes) {
+    if (!credit_on()) return;
+    auto& used = credit_used_[static_cast<std::size_t>(nh)];
+    used += bytes;
+    if (used > credit_peak_) credit_peak_ = used;
+  }
+
+  /// A credit return from `from` arrived: that many of our bytes landed
+  /// and were drained there. Clamped — a restarted accounting epoch or the
+  /// receiver acking its (slightly larger) packet view must never wrap.
+  void credit_consume_ack(int from, std::uint64_t amount) {
+    auto& used = credit_used_[static_cast<std::size_t>(from)];
+    used -= std::min(used, amount);
+  }
+
+  /// Receive standalone credit acks. Their dedicated tag keeps them
+  /// drainable even while data packets back up, and lets a stalled sender
+  /// collect credit without running full packet handling.
+  void drain_credit_acks() {
+    if (!credit_on()) return;
+    auto& mpi = world_->mpi();
+    while (auto st = mpi.iprobe(mpisim::any_source, credit_tag())) {
+      auto ack = mpi.recv_bytes(st->source, credit_tag());
+      std::uint64_t amount = 0;
+      YGM_CHECK(ack.size() == sizeof(amount), "malformed credit ack");
+      std::memcpy(&amount, ack.data(), sizeof(amount));
+      credit_consume_ack(st->source, amount);
+      buffer_pool::local().release(std::move(ack));
+    }
+  }
+
+  /// Return owed bytes as standalone acks: every nonzero debt when `force`
+  /// (stall loops and termination tests must not sit on credit a stalled
+  /// peer needs), else only links past the eager-ack threshold — reverse
+  /// data traffic usually piggybacks the return for free first.
+  void flush_credit_acks(bool force) {
+    if (!credit_on()) return;
+    for (int r = 0; r < static_cast<int>(credit_owed_.size()); ++r) {
+      auto& owed = credit_owed_[static_cast<std::size_t>(r)];
+      if (owed == 0 || (!force && owed < credit_ack_threshold_)) continue;
+      auto ack = buffer_pool::local().acquire(sizeof(std::uint64_t));
+      ack.resize(sizeof(std::uint64_t));
+      std::memcpy(ack.data(), &owed, sizeof(std::uint64_t));
+      owed = 0;
+      world_->mpi().send_bytes(r, credit_tag(), std::move(ack));
+    }
+  }
+
   void flush_buffer(int nh) {
     auto& buf = buffers_[static_cast<std::size_t>(nh)];
     YGM_ASSERT(!buf.empty());
+    // Piggyback this link's owed credit on the outgoing packet: one escape
+    // record, zero extra messages. Appended before the stats below so the
+    // byte counters match the wire.
+    if (credit_on()) {
+      auto& owed = credit_owed_[static_cast<std::size_t>(nh)];
+      if (owed != 0) {
+        std::array<std::byte, sizeof(std::uint64_t)> amount;
+        std::memcpy(amount.data(), &owed, sizeof(std::uint64_t));
+        packet_append(buf, /*is_bcast=*/false, packet_credit_escape, amount);
+        owed = 0;
+      }
+    }
     const bool remote = world_->topo().is_remote(world_->rank(), nh);
     if (remote) {
       ++stats_.remote_packets;
@@ -441,6 +605,7 @@ class mailbox {
       const double arrival = world_->virtual_charge_packet(buf.size(), remote);
       std::memcpy(buf.data(), &arrival, sizeof(double));
     }
+    credit_charge(nh, buf.size());
     // Moved-from: buf is left empty with no capacity; the next record for
     // this hop re-acquires capacity from the pool (the receiver releases
     // the drained packet to its own pool, keeping the cycle allocation-free
@@ -462,15 +627,17 @@ class mailbox {
 
   // The raw drain loop; the caller must already hold the exchange claim.
   void drain_incoming() {
+    drain_credit_acks();
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
       auto packet = mpi.recv_bytes(st->source, data_tag_);
-      handle_packet(packet);
+      handle_packet(packet, st->source);
       // handle_packet copies every span it keeps (enqueue appends payload
       // bytes into coalescing buffers), so no reference into the packet
       // survives it and the capacity can be recycled.
       buffer_pool::local().release(std::move(packet));
     }
+    flush_credit_acks(/*force=*/false);
   }
 
   // ------------------------------------------------------- progress engine
@@ -501,6 +668,10 @@ class mailbox {
     if (engine_mode_) drain_deferred_locked();
     poll_incoming();
     flush();
+    // Return all owed credit eagerly: a peer stalled in credit_gate cannot
+    // reach its own wait_empty, and the detector must not owe its balance
+    // to bytes we are sitting on.
+    flush_credit_acks(/*force=*/true);
     if (quiescence_seen_) {
       // The engine consumed the detector's sticky verdict while we were
       // parked; honor it exactly once.
@@ -552,16 +723,18 @@ class mailbox {
   /// until the rank catches up.
   bool engine_drain(bool inline_deliveries) {
     if (!inline_deliveries && deferred_->full()) return false;
+    drain_credit_acks();
     auto& mpi = world_->mpi();
     std::vector<std::byte> batch;
     bool did = false;
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
       auto packet = mpi.recv_bytes(st->source, data_tag_);
-      handle_packet(packet, inline_deliveries ? nullptr : &batch);
+      handle_packet(packet, st->source, inline_deliveries ? nullptr : &batch);
       buffer_pool::local().release(std::move(packet));
       did = true;
       if (batch.size() >= capacity_) break;  // bound one pass's handoff
     }
+    flush_credit_acks(/*force=*/false);
     if (batch.size() > sizeof(double)) {
       const double pushed_us = telemetry::now_us();
       std::memcpy(batch.data(), &pushed_us, sizeof(double));
@@ -631,9 +804,15 @@ class mailbox {
     packet_append(batch, /*is_bcast=*/false, world_->rank(), payload);
   }
 
-  void handle_packet(const std::vector<std::byte>& packet,
+  void handle_packet(const std::vector<std::byte>& packet, int from,
                      std::vector<std::byte>* defer_batch = nullptr) {
     const int me = world_->rank();
+    // Flow control: every received byte is owed back to its sender once
+    // this drain pass has consumed it (flush_credit_acks / the piggyback in
+    // flush_buffer return the debt).
+    if (credit_on()) {
+      credit_owed_[static_cast<std::size_t>(from)] += packet.size();
+    }
     std::span<const std::byte> body(packet.data(), packet.size());
     if (world_->timed()) {
       // The receiver cannot see the packet before it arrives on the
@@ -656,6 +835,16 @@ class mailbox {
         ++tctx.hop;
         pending_trace = &tctx;
         continue;  // metadata, not a message hop
+      }
+      if (packet_record_is_credit(rec)) {
+        // Piggybacked credit return. Link-local: consumed here, never
+        // forwarded, and not a message hop.
+        std::uint64_t amount = 0;
+        YGM_CHECK(rec.payload.size() == sizeof(amount),
+                  "malformed credit record");
+        std::memcpy(&amount, rec.payload.data(), sizeof(amount));
+        credit_consume_ack(from, amount);
+        continue;
       }
       ++stats_.hops_received;
       world_->virtual_charge_events(1);
@@ -752,6 +941,16 @@ class mailbox {
   /// First exception thrown by a callback the engine executed; rethrown on
   /// the rank thread at its next progress call.
   std::exception_ptr engine_error_;
+
+  // ------------------------------------------------------ flow-control state
+  //
+  // All guarded like the rest of the mailbox (mx_ in engine mode, the
+  // single rank thread otherwise). Zero-cost when credit_budget_ == 0.
+  std::size_t credit_budget_ = 0;        ///< per-link byte budget (0 = off)
+  std::size_t credit_ack_threshold_ = 0; ///< eager standalone-ack watermark
+  std::vector<std::uint64_t> credit_used_;  ///< unacked bytes, per next hop
+  std::vector<std::uint64_t> credit_owed_;  ///< drained-not-acked, per source
+  std::uint64_t credit_peak_ = 0;           ///< max credit_used_ ever seen
 
   // Length-slot width hint for in-place serialization: the previous
   // payload size, so fixed-size message streams patch the varint in place

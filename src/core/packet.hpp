@@ -38,6 +38,14 @@ namespace ygm::core {
 /// here is unambiguously metadata about the record that follows.
 inline constexpr int packet_trace_escape = (1 << 30) - 1;
 
+/// Reserved p2p address for credit-return records (flow control). The
+/// payload is one little-endian u64: how many bytes the sender of this
+/// packet has consumed from packets the receiving link previously sent it.
+/// Unlike trace escapes this record stands alone (it annotates the link,
+/// not a neighbouring record) and is consumed where received — never
+/// forwarded.
+inline constexpr int packet_credit_escape = packet_trace_escape - 1;
+
 /// Decoded view of one record inside a packet (payload not copied).
 struct packet_record {
   bool is_bcast = false;
@@ -48,6 +56,11 @@ struct packet_record {
 /// True if `rec` is a trace annotation for the next record, not a message.
 inline bool packet_record_is_trace(const packet_record& rec) noexcept {
   return !rec.is_bcast && rec.addr == packet_trace_escape;
+}
+
+/// True if `rec` is a link-level credit return, not a message.
+inline bool packet_record_is_credit(const packet_record& rec) noexcept {
+  return !rec.is_bcast && rec.addr == packet_credit_escape;
 }
 
 /// Append one record to a packet under construction.

@@ -32,6 +32,7 @@ struct mailbox_stats {
   std::uint64_t local_bytes = 0;
   std::uint64_t remote_bytes = 0;
   std::uint64_t flushes = 0;         ///< capacity-triggered exchanges
+  std::uint64_t credit_stalls = 0;   ///< sends blocked on exhausted credit
 
   mailbox_stats& operator+=(const mailbox_stats& o) {
     app_sends += o.app_sends;
@@ -45,6 +46,7 @@ struct mailbox_stats {
     local_bytes += o.local_bytes;
     remote_bytes += o.remote_bytes;
     flushes += o.flushes;
+    credit_stalls += o.credit_stalls;
     return *this;
   }
 
@@ -101,6 +103,7 @@ struct mailbox_stats {
     m.counter(p + ".local_bytes") += local_bytes;
     m.counter(p + ".remote_bytes") += remote_bytes;
     m.counter(p + ".flushes") += flushes;
+    m.counter(p + ".credit_stalls") += credit_stalls;
   }
 };
 

@@ -1,6 +1,8 @@
 // Compatibility shim: the mail-slot matching engine moved to the transport
 // substrate (src/transport/mail_slot.hpp) so both backends share it; mpisim
-// re-exports it so existing call sites keep compiling.
+// re-exports it so existing call sites keep compiling. The slot now also
+// exposes queued_bytes() — the per-destination depth the inproc backend's
+// outbound cap reads for backpressure (docs/BACKPRESSURE.md).
 #pragma once
 
 #include "transport/mail_slot.hpp"

@@ -72,7 +72,13 @@ double env_double(const char* name, double fallback) {
 std::atomic<double> g_stall_timeout_ms{0.0};
 std::mutex g_postmortem_path_mtx;
 std::string g_postmortem_path = "ygm_postmortem.json";  // NOLINT
+// Two separate process-global flags: `fired` is the sticky "a postmortem
+// was written since the last reset" answer tests and drivers query; `held`
+// is the dedup latch one watchdog holds while its stall episode is live,
+// released on progress resumption (re-arm) or destruction so a later stall
+// can dump again without making postmortem_fired() flicker.
 std::atomic<bool> g_postmortem_fired{false};
+std::atomic<bool> g_postmortem_held{false};
 
 /// Environment knobs are read once at static initialization (before main,
 /// so set_* calls made by drivers always win over the environment).
@@ -134,13 +140,16 @@ std::string_view hop_event_name(hop_kind k) noexcept {
       return "trace.forward";
     case hop_kind::deliver:
       return "trace.deliver";
+    case hop_kind::credit_stall:
+      return "credit.stall";
   }
   return "trace.?";
 }
 
 bool parse_hop_event_name(std::string_view name, hop_kind& out) noexcept {
   for (const auto k : {hop_kind::enqueue, hop_kind::flush, hop_kind::handoff,
-                       hop_kind::forward, hop_kind::deliver}) {
+                       hop_kind::forward, hop_kind::deliver,
+                       hop_kind::credit_stall}) {
     if (name == hop_event_name(k)) {
       out = k;
       return true;
@@ -171,6 +180,23 @@ void record_hop(const wire_ctx& c, hop_kind k, double start_us,
   e.arg1 = pack_hop_bytes(c.hop, bytes);
   r->push(e);
 }
+
+void record_credit_stall(int dest, double start_us,
+                         std::uint64_t bytes) noexcept {
+  recorder* r = tls();
+  if (r == nullptr) return;
+  trace_event e;
+  const double now = r->now_us();
+  e.kind = event_kind::complete;
+  e.ts_us = start_us >= 0 ? start_us : now;
+  e.dur_us = now >= e.ts_us ? now - e.ts_us : 0;
+  e.name = r->intern(hop_event_name(hop_kind::credit_stall));
+  e.arg0_name = r->intern("id");
+  e.arg0 = static_cast<std::uint64_t>(static_cast<unsigned>(dest));
+  e.arg1_name = r->intern("hb");
+  e.arg1 = pack_hop_bytes(0, bytes);
+  r->push(e);
+}
 #endif
 
 // ----------------------------------------------------------- stall watchdog
@@ -193,11 +219,22 @@ void set_postmortem_path(std::string path) {
   g_postmortem_path = std::move(path);
 }
 
-void reset_postmortem_latch() noexcept { g_postmortem_fired.store(false); }
+void reset_postmortem_latch() noexcept {
+  g_postmortem_fired.store(false);
+  g_postmortem_held.store(false);
+}
 
 bool postmortem_fired() noexcept { return g_postmortem_fired.load(); }
 
 stall_watchdog::stall_watchdog() noexcept : timeout_ms_(stall_timeout_ms()) {}
+
+stall_watchdog::~stall_watchdog() {
+  // The wait completed (successful drain). If this watchdog consumed the
+  // process dedup latch, release it so a second stall later in a long run
+  // gets its own postmortem instead of passing silently. The sticky
+  // postmortem_fired() answer is deliberately left set.
+  if (dumped_) g_postmortem_held.store(false);
+}
 
 void stall_watchdog::poll_slow(const stall_report& r) noexcept {
   // Any hop or detector round counts as quiescence progress; the signature
@@ -207,13 +244,26 @@ void stall_watchdog::poll_slow(const stall_report& r) noexcept {
   if (sig != last_sig_) {
     last_sig_ = sig;
     last_change_ = now;
+    if (fired_) {
+      // Progress resumed after a report: re-arm for the next stall episode
+      // within this same wait, handing back the dedup latch if we hold it
+      // (postmortem_fired() stays set — a dump did happen).
+      fired_ = false;
+      if (dumped_) {
+        dumped_ = false;
+        g_postmortem_held.store(false);
+      }
+    }
     return;
   }
+  if (fired_) return;  // this episode already reported
   const double stalled_ms =
       std::chrono::duration<double, std::milli>(now - last_change_).count();
   if (stalled_ms < timeout_ms_) return;
-  fired_ = true;  // this watchdog is done either way
-  if (g_postmortem_fired.exchange(true)) return;  // another rank dumped first
+  fired_ = true;
+  if (g_postmortem_held.exchange(true)) return;  // another rank dumped first
+  dumped_ = true;
+  g_postmortem_fired.store(true);
   dump_postmortem(r, stalled_ms, postmortem_path());
 }
 
@@ -228,6 +278,9 @@ void write_postmortem_json(std::ostream& os, const stall_report& r,
      << ", \"hops_sent\": " << r.hops_sent
      << ", \"hops_received\": " << r.hops_received
      << ", \"term_rounds\": " << r.term_rounds << "},\n";
+  os << "  \"credit\": {\"budget_bytes\": " << r.credit_budget
+     << ", \"in_flight_bytes\": " << r.credit_in_flight
+     << ", \"stalls\": " << r.credit_stalls << "},\n";
   os << "  \"sample_rate\": " << json_number(sample_rate()) << ",\n";
 
   // Per-lane ring tails: the most recent window of each rank's timeline,

@@ -123,6 +123,8 @@ enum class hop_kind : std::uint8_t {
   handoff,  ///< hybrid zero-copy local leg; dur = shared-inbox residency
   forward,  ///< relay re-queue decision at an intermediary
   deliver,  ///< final receive-callback invocation (exactly one per journey)
+  credit_stall,  ///< send blocked on exhausted credit ("credit.stall");
+                 ///< NOT part of any journey — stitching skips it
 };
 
 /// Ring-event name for a hop kind ("trace.enqueue", "trace.flush", ...).
@@ -160,6 +162,19 @@ void record_hop(const wire_ctx& c, hop_kind k, double start_us,
                 std::uint64_t bytes) noexcept;
 #endif
 
+/// Record one credit-stall ("credit.stall") complete event spanning
+/// [start_us, now] on this thread's lane: a send blocked until flow-control
+/// credit returned. `dest` rides in the `id` arg and the unacked byte count
+/// in `hb`, so ygm_trace can attribute queue residency to backpressure per
+/// destination. Gated only on having a recorder, not on sampling — stalls
+/// are rare and always worth keeping. No-op without a recorder.
+#if defined(YGM_TELEMETRY_DISABLED)
+inline void record_credit_stall(int, double, std::uint64_t) noexcept {}
+#else
+void record_credit_stall(int dest, double start_us,
+                         std::uint64_t bytes) noexcept;
+#endif
+
 // ----------------------------------------------------------- stall watchdog
 
 /// Stall window in milliseconds; 0 disables the watchdog (the default).
@@ -172,31 +187,47 @@ void set_stall_timeout_ms(double ms);
 std::string postmortem_path();
 void set_postmortem_path(std::string path);
 
-/// The postmortem fires at most once per process (the first stalled rank
-/// wins; a wedged detector stalls every rank at once and one dump is worth
-/// more than eight interleaved ones). Tests reset the latch between runs.
+/// The postmortem fires at most once per *stall episode* (the first stalled
+/// rank wins; a wedged detector stalls every rank at once and one dump is
+/// worth more than eight interleaved ones). The dedup latch re-arms when
+/// the dumping watchdog sees progress resume or its wait completes (a
+/// successful drain), so a second stall later in a long run is captured
+/// too. postmortem_fired() is sticky — true once any dump happened since
+/// the last reset — so callers can check it after the episode is over.
+/// Tests reset the latch between runs.
 void reset_postmortem_latch() noexcept;
 bool postmortem_fired() noexcept;
 
 /// Progress snapshot a waiting rank reports to its watchdog each poll.
+/// The credit fields are zero for callers predating flow control (all
+/// fields are defaulted, so old brace-initializers keep compiling).
 struct stall_report {
   std::uint64_t hops_sent = 0;
   std::uint64_t hops_received = 0;
   std::uint64_t term_rounds = 0;
   std::uint64_t queued_bytes = 0;
+  std::uint64_t credit_budget = 0;     ///< effective budget/dest (0 = off)
+  std::uint64_t credit_in_flight = 0;  ///< max unacked bytes to any dest
+  std::uint64_t credit_stalls = 0;     ///< sends blocked on credit so far
 };
 
 /// Per-wait_empty watchdog: arm on construction, poll() once per wait
 /// iteration. If the progress signature (hops + detector rounds) does not
-/// change for the configured window, dumps the flight-recorder postmortem
-/// once. Costs one branch per poll when disabled.
+/// change for the configured window, dumps the flight-recorder postmortem;
+/// when progress resumes it re-arms, so every distinct stall in the wait is
+/// observed (the process latch still dedups concurrent ranks). Costs one
+/// branch per poll when disabled.
 class stall_watchdog {
  public:
   stall_watchdog() noexcept;
+  ~stall_watchdog();
+
+  stall_watchdog(const stall_watchdog&) = delete;
+  stall_watchdog& operator=(const stall_watchdog&) = delete;
 
   void poll(const stall_report& r) noexcept {
 #if !defined(YGM_TELEMETRY_DISABLED)
-    if (timeout_ms_ <= 0 || fired_) return;
+    if (timeout_ms_ <= 0) return;
     poll_slow(r);
 #else
     (void)r;
@@ -209,7 +240,8 @@ class stall_watchdog {
   double timeout_ms_ = 0;
   std::uint64_t last_sig_ = ~std::uint64_t{0};
   std::chrono::steady_clock::time_point last_change_{};
-  bool fired_ = false;
+  bool fired_ = false;   ///< current stall episode already reported
+  bool dumped_ = false;  ///< this object holds the process postmortem latch
 };
 
 /// Write the flight-recorder postmortem for a stall observed on the calling

@@ -47,6 +47,8 @@ inline int hop_stage_order(hop_kind k) noexcept {
       return 2;
     case hop_kind::deliver:
       return 3;
+    case hop_kind::credit_stall:
+      return 4;  // never stitched into journeys (extract_hops skips it)
   }
   return 4;
 }
@@ -166,6 +168,9 @@ inline std::vector<hop_record> extract_hops(const session& s) {
       if (e.name >= names.size()) return;
       hop_kind kind;
       if (!parse_hop_event_name(names[e.name], kind)) return;
+      // Credit stalls describe the sending rank, not any one message — they
+      // carry no journey id and must not fabricate incomplete journeys.
+      if (kind == hop_kind::credit_stall) return;
       hop_record h;
       h.world = rec.world();
       h.rank = rec.rank();

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include <atomic>
+
 #include "common/assert.hpp"
 #include "core/buffer_pool.hpp"  // sanctioned upward include (src/CMakeLists.txt)
 #include "ser/serialize.hpp"
@@ -33,6 +35,31 @@ backend_kind backend_from_env() {
   YGM_CHECK(k.has_value(), std::string("unknown YGM_TRANSPORT backend '") +
                                v + "' (expected inproc | socket)");
   return *k;
+}
+
+namespace {
+
+std::size_t outq_cap_from_env() {
+  const char* v = std::getenv("YGM_OUTQ_CAP_BYTES");
+  if (v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end != nullptr && *end == '\0') return static_cast<std::size_t>(n);
+  }
+  return std::size_t{4} << 20;  // 4 MiB
+}
+
+// Process-wide so forked socket children inherit the launch override.
+std::atomic<std::size_t> g_outq_cap{outq_cap_from_env()};
+
+}  // namespace
+
+std::size_t outq_cap_bytes() noexcept {
+  return g_outq_cap.load(std::memory_order_relaxed);
+}
+
+void set_outq_cap_bytes(std::size_t cap) noexcept {
+  g_outq_cap.store(cap, std::memory_order_relaxed);
 }
 
 void endpoint::post(int dest, envelope&& e) {

@@ -5,8 +5,13 @@
 // (a mail_slot matching engine) and a per-peer send `channel` for every
 // other rank. The contract (docs/TRANSPORT.md):
 //
-//   * post() is eager and never blocks: the payload is framed and either
-//     delivered (inproc) or queued on the peer channel (socket). The
+//   * post() is eager but *bounded*: the payload is framed and either
+//     delivered (inproc) or queued on the peer channel (socket). Each
+//     channel enforces an outbound byte cap (outq_cap_bytes(), YGM_OUTQ_CAP
+//     _BYTES, 0 disables): at the cap the socket backend blocks acceptance
+//     until the wire drains (pumping its own receive side meanwhile, so two
+//     mutually-flooding ranks cannot deadlock), and the inproc backend
+//     applies a bounded wait on the destination slot's queued bytes. The
 //     payload vector is taken by value and recycled through
 //     core::buffer_pool when the bytes are off this rank's hands, so the
 //     zero-copy packet discipline survives the seam.
@@ -53,10 +58,22 @@ std::optional<backend_kind> backend_from_name(std::string_view name) noexcept;
 /// silently falling back to inproc would fake multi-process coverage).
 backend_kind backend_from_env();
 
+/// Channel-level outbound byte cap, the transport-layer floor under the
+/// mailbox credit budget (docs/BACKPRESSURE.md). Resolution: launch
+/// override (run_options::outq_cap_bytes via set_outq_cap_bytes) >
+/// YGM_OUTQ_CAP_BYTES > 4 MiB default; 0 disables the cap and restores the
+/// historical unbounded-queue behaviour.
+std::size_t outq_cap_bytes() noexcept;
+
+/// Override the cap process-wide (launch plumbing; set before worlds come
+/// up so forked socket children inherit it).
+void set_outq_cap_bytes(std::size_t cap) noexcept;
+
 /// One rank's view of the path toward one peer. post() frames the envelope
-/// and moves it toward the peer's mail_slot; it never blocks (eager
-/// semantics — a slow peer grows the channel's queue, not the caller's
-/// latency).
+/// and moves it toward the peer's mail_slot. It is eager below the
+/// channel's outbound cap; at the cap a slow peer stalls the caller
+/// (bounded-memory semantics — see outq_cap_bytes()) instead of growing
+/// the queue without bound.
 class channel {
  public:
   virtual ~channel() = default;

@@ -1,6 +1,10 @@
 #include "transport/inproc/fabric.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ygm::transport::inproc {
 
@@ -40,12 +44,37 @@ void fabric::abort_all() {
 endpoint::endpoint(fabric& f, int rank)
     : fabric_(&f), rank_(rank), slot_(&f.slot(rank)) {
   channels_.reserve(static_cast<std::size_t>(f.size()));
-  for (int d = 0; d < f.size(); ++d) channels_.emplace_back(&f, d);
+  for (int d = 0; d < f.size(); ++d) channels_.emplace_back(this, d);
 }
 
 endpoint::~endpoint() {
   const auto probes = slot_->probe_stats();
   publish_stats(probes.iprobe_calls, probes.draws, probes.misses);
+  telemetry::count("transport.inproc.outq_bytes", outq_peak_bytes_);
+  telemetry::count("transport.inproc.outq_stalls", outq_stalls_);
+  telemetry::count("transport.inproc.outq_overflows", outq_overflows_);
+}
+
+void endpoint::post_local(int dest, envelope&& e) {
+  mail_slot& dst = fabric_->slot(dest);
+  const std::size_t cap = transport::outq_cap_bytes();
+  // Self-delivery never waits: the only thread that could drain this slot
+  // is the one posting.
+  if (cap != 0 && dest != rank_ &&
+      dst.queued_bytes() + e.payload.size() > cap && !fabric_->aborted()) {
+    ++outq_stalls_;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+    while (dst.queued_bytes() + e.payload.size() > cap &&
+           !fabric_->aborted() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+    if (dst.queued_bytes() + e.payload.size() > cap) ++outq_overflows_;
+  }
+  const std::size_t depth = dst.queued_bytes() + e.payload.size();
+  if (depth > outq_peak_bytes_) outq_peak_bytes_ = depth;
+  dst.deliver(std::move(e));
 }
 
 transport::channel& endpoint::peer(int dest) {

@@ -88,18 +88,31 @@ class endpoint final : public transport::endpoint {
   class slot_channel final : public transport::channel {
    public:
     slot_channel() = default;
-    slot_channel(fabric* f, int dest) : fabric_(f), dest_(dest) {}
-    void post(envelope&& e) override { fabric_->slot(dest_).deliver(std::move(e)); }
+    slot_channel(endpoint* ep, int dest) : ep_(ep), dest_(dest) {}
+    void post(envelope&& e) override { ep_->post_local(dest_, std::move(e)); }
 
    private:
-    fabric* fabric_ = nullptr;
+    endpoint* ep_ = nullptr;
     int dest_ = 0;
   };
+
+  /// Deliver into the destination slot, applying the channel-level outbound
+  /// cap as a *soft* bound: when the destination's queued bytes exceed
+  /// outq_cap_bytes() the sender waits (bounded) for the receiver to drain,
+  /// then proceeds regardless — with threads sharing one address space a
+  /// hard block here could deadlock a receiver that is itself blocked
+  /// posting, so overruns are counted (outq_overflows) instead of risking
+  /// liveness. The mailbox credit layer above provides the hard guarantee.
+  void post_local(int dest, envelope&& e);
 
   fabric* fabric_;
   int rank_;
   mail_slot* slot_;  // fabric_->slot(rank_), cached
   std::vector<slot_channel> channels_;
+  // outbound-cap counters, published at teardown
+  std::uint64_t outq_peak_bytes_ = 0;
+  std::uint64_t outq_stalls_ = 0;
+  std::uint64_t outq_overflows_ = 0;
 };
 
 }  // namespace ygm::transport::inproc

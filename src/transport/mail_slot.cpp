@@ -77,6 +77,7 @@ void mail_slot::deliver(envelope&& e) {
       visible_at = std::max(visible_at, stream.last_visible_at);
       stream.last_visible_at = visible_at;
     }
+    payload_bytes_.fetch_add(e.payload.size(), std::memory_order_relaxed);
     q_.push_back(queued{std::move(e), visible_at});
   }
   cv_.notify_all();
@@ -103,6 +104,7 @@ envelope mail_slot::recv_match(int src, int tag, std::uint64_t ctx) {
     if (m.index != npos) {
       envelope e = std::move(q_[m.index].env);
       q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(m.index));
+      payload_bytes_.fetch_sub(e.payload.size(), std::memory_order_relaxed);
       return e;
     }
     // A delayed match matures with this rank's clock, which only advances
@@ -127,6 +129,7 @@ std::optional<envelope> mail_slot::try_recv_match(int src, int tag,
   if (m.index == npos) return std::nullopt;
   envelope e = std::move(q_[m.index].env);
   q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(m.index));
+  payload_bytes_.fetch_sub(e.payload.size(), std::memory_order_relaxed);
   return e;
 }
 

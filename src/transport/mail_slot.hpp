@@ -77,6 +77,13 @@ class mail_slot {
   /// chaos-delayed messages too (they have been sent, just not yet "seen").
   std::size_t pending() const;
 
+  /// Payload bytes currently queued (unreceived), across all contexts.
+  /// Lock-free (relaxed atomic) so a *sender* can consult the destination's
+  /// queue depth for backpressure without contending on the slot mutex.
+  std::size_t queued_bytes() const noexcept {
+    return payload_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Install fault injection for this slot; `owner_rank` diversifies the
   /// per-rank hash streams. Must be called before any traffic flows
   /// (backends do this during endpoint setup).
@@ -137,6 +144,7 @@ class mail_slot {
   mutable std::mutex mtx_;
   mutable std::condition_variable cv_;
   std::deque<queued> q_;
+  std::atomic<std::size_t> payload_bytes_{0};  ///< sum of q_ payload sizes
   bool aborted_ = false;
 
   // ------------------------------------------------------------- chaos

@@ -7,6 +7,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -203,6 +204,8 @@ endpoint::~endpoint() {
   telemetry::count("transport.socket.wire_rx_bytes", wire_rx_bytes_);
   telemetry::count("transport.socket.wire_sendmsg_calls", wire_sendmsg_calls_);
   telemetry::count("transport.socket.wire_partial_sends", wire_partial_sends_);
+  telemetry::count("transport.socket.outq_bytes", outq_peak_bytes_);
+  telemetry::count("transport.socket.outq_stalls", outq_stalls_);
 }
 
 transport::channel& endpoint::peer(int dest) {
@@ -215,27 +218,56 @@ void endpoint::post_to_peer(int dest, envelope&& e) {
     slot_.deliver(std::move(e));
     return;
   }
-  std::lock_guard lock(io_mtx_);
-  auto& p = peers_[static_cast<std::size_t>(dest)];
-  YGM_CHECK(p.fd >= 0 && !p.fin_sent, "post after socket teardown");
+  const std::size_t frame_bytes = sizeof(wire_header) + e.payload.size();
+  bool stalled = false;
+  // Per-iteration locking, like the blocking receive loops: the mutex is
+  // released between pump intervals so a concurrent progress-engine pass is
+  // never starved while we wait out a full peer queue.
+  for (;;) {
+    std::unique_lock lock(io_mtx_);
+    auto& p = peers_[static_cast<std::size_t>(dest)];
+    YGM_CHECK(p.fd >= 0 && !p.fin_sent, "post after socket teardown");
 
-  out_msg m;
-  m.hdr.kind = static_cast<std::uint32_t>(frame_kind::data);
-  m.hdr.payload_len = static_cast<std::uint32_t>(e.payload.size());
-  m.hdr.src = e.src;
-  m.hdr.tag = e.tag;
-  m.hdr.ctx = e.ctx;
-  m.payload = std::move(e.payload);
-  p.outq.push_back(std::move(m));
-  // Opportunistic immediate flush: in the common case the kernel takes the
-  // whole frame here and the payload goes straight back to the pool.
-  flush_peer(p);
+    const std::size_t cap = transport::outq_cap_bytes();
+    // Accept when under the cap — or unconditionally when the queue is
+    // empty (a single frame larger than the cap must still pass) or the
+    // peer is already failed/aborting (fail_peer drops the queue anyway).
+    if (cap == 0 || p.outq.empty() || p.outq_bytes + frame_bytes <= cap ||
+        p.eof || aborted_) {
+      out_msg m;
+      m.hdr.kind = static_cast<std::uint32_t>(frame_kind::data);
+      m.hdr.payload_len = static_cast<std::uint32_t>(e.payload.size());
+      m.hdr.src = e.src;
+      m.hdr.tag = e.tag;
+      m.hdr.ctx = e.ctx;
+      m.payload = std::move(e.payload);
+      p.outq_bytes += frame_bytes;
+      if (p.outq_bytes > outq_peak_bytes_) outq_peak_bytes_ = p.outq_bytes;
+      p.outq.push_back(std::move(m));
+      // Opportunistic immediate flush: in the common case the kernel takes
+      // the whole frame here and the payload goes straight back to the pool.
+      flush_peer(p);
+      return;
+    }
+    if (!stalled) {
+      stalled = true;
+      ++outq_stalls_;
+    }
+    flush_peer(p);
+    if (p.outq_bytes + frame_bytes <= cap) continue;  // room now — retry
+    // Wait for POLLOUT on the full peer; the pump also keeps reading
+    // inbound frames, so a peer blocked posting to *us* drains too.
+    progress(10);
+  }
 }
 
 void endpoint::enqueue_control(peer_state& p, frame_kind k) {
+  // Control frames bypass the outbound cap: abort/fin must never queue
+  // behind a backpressured data stream.
   out_msg m;
   m.hdr.kind = static_cast<std::uint32_t>(k);
   m.hdr.src = rank_;
+  p.outq_bytes += sizeof(wire_header);
   p.outq.push_back(std::move(m));
   flush_peer(p);
 }
@@ -288,6 +320,7 @@ bool endpoint::flush_peer(peer_state& p) {
       // Frame fully on the wire: recycle the packet buffer.
       core::buffer_pool::local().release(std::move(m.payload));
     }
+    p.outq_bytes -= std::min(p.outq_bytes, total);
     p.outq.pop_front();
   }
   return true;
@@ -297,6 +330,7 @@ void endpoint::fail_peer(peer_state& p, const char* why) {
   (void)why;
   p.eof = true;
   p.outq.clear();
+  p.outq_bytes = 0;  // releases any post blocked on this peer's cap
   // A peer vanishing before its fin means its process died: poison the
   // local world so blocked operations surface an error instead of hanging.
   if (!p.fin_seen && !aborted_) {

@@ -15,8 +15,13 @@
 // handed to post() by value IS the iovec base, and it is released back to
 // core::buffer_pool when the wire accepts the last byte — PR 5's zero-copy
 // discipline across the process boundary. A send the kernel won't accept
-// whole parks the remainder on the channel's outbound queue (eager
-// semantics: post never blocks, a slow peer grows the queue).
+// whole parks the remainder on the channel's outbound queue, which is
+// *bounded*: at transport::outq_cap_bytes() the posting rank stops
+// accepting new data frames and pumps the wire (POLLOUT wakes it when the
+// peer drains, and the pump keeps reading inbound frames meanwhile, so two
+// mutually-flooding ranks drain each other instead of deadlocking) until
+// the queue has room. Control frames (hello/abort/fin) bypass the cap so
+// teardown and failure propagation can never be wedged behind data.
 //
 // The receive side shares mail_slot with the inproc backend: completed data
 // frames are delivered into the slot by the pump, and all matching/chaos
@@ -109,6 +114,7 @@ class endpoint final : public transport::endpoint {
   struct peer_state {
     int fd = -1;
     std::deque<out_msg> outq;
+    std::size_t outq_bytes = 0;  ///< header+payload bytes queued in outq
     bool fin_sent = false;
     bool fin_seen = false;  ///< peer sent fin, or EOF after fin
     bool eof = false;       ///< read side closed
@@ -175,6 +181,8 @@ class endpoint final : public transport::endpoint {
   std::uint64_t wire_rx_bytes_ = 0;
   std::uint64_t wire_sendmsg_calls_ = 0;
   std::uint64_t wire_partial_sends_ = 0;
+  std::uint64_t outq_peak_bytes_ = 0;  ///< high-water mark across all peers
+  std::uint64_t outq_stalls_ = 0;      ///< posts that hit the outbound cap
 };
 
 }  // namespace ygm::transport::socket

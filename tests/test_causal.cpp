@@ -119,6 +119,10 @@ std::uint64_t all_to_all_wire_bytes() {
   std::uint64_t wire = 0;
   sim::run(topo.num_ranks(), [&](sim::comm& c) {
     comm_world world(c, topo, scheme_kind::nlnr);
+    // Credit acks piggyback on flushes whose timing depends on thread
+    // interleaving, which would make the wire-byte totals compared below
+    // nondeterministic. They are orthogonal to tracing; pin them off.
+    world.set_credit_bytes(0);
     int recv = 0;
     mailbox<int> mb(world, [&](const int&) { ++recv; }, 256);
     for (int i = 0; i < 25; ++i) {

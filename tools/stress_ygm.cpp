@@ -56,6 +56,12 @@ struct options {
   int msgs = 40;
   int bcasts = 3;
   int epochs = 2;
+  // Flood mode (docs/BACKPRESSURE.md): rank 0 additionally hammers the
+  // last rank at ~this many bytes/s per epoch; 0 = off.
+  std::uint64_t flood_bytes_per_s = 0;
+  // Per-destination credit budget override for the sweep; 0 = the resolved
+  // default (YGM_CREDIT_BYTES / 1 MiB).
+  std::uint64_t credit_bytes = 0;
   // Optional knob overrides (negative = use preset value).
   double delay_prob = -1, miss_prob = -1, stall_prob = -1;
   long delay_ticks = -1, stall_us = -1;
@@ -91,6 +97,11 @@ struct options {
       "                       (untimed trials only get real engine help)\n"
       "  --topos NxC,..       machine shapes rotated per seed\n"
       "  --capacities a,b,..  mailbox capacities rotated per seed\n"
+      "  --flood B            flood mode: rank 0 also hammers the last rank\n"
+      "                       at ~B bytes/s per epoch (hot producer vs slow\n"
+      "                       consumer; exercises credit backpressure)\n"
+      "  --credit-bytes B     per-destination flow-control budget override\n"
+      "                       (default: $YGM_CREDIT_BYTES, else 1 MiB)\n"
       "  --msgs N             p2p messages per rank per epoch (default 40)\n"
       "  --bcasts N           broadcasts per rank per epoch (default 3)\n"
       "  --epochs N           communication epochs per trial (default 2)\n"
@@ -151,6 +162,8 @@ options parse(int argc, char** argv) {
     if (a == "-h" || a == "--help") usage(0);
     else if (a == "--seeds") o.seeds = std::strtoull(need(i++).c_str(), nullptr, 10);
     else if (a == "--seed-base") o.seed_base = std::strtoull(need(i++).c_str(), nullptr, 10);
+    else if (a == "--flood") o.flood_bytes_per_s = std::strtoull(need(i++).c_str(), nullptr, 10);
+    else if (a == "--credit-bytes") o.credit_bytes = std::strtoull(need(i++).c_str(), nullptr, 10);
     else if (a == "--msgs") o.msgs = std::atoi(need(i++).c_str());
     else if (a == "--bcasts") o.bcasts = std::atoi(need(i++).c_str());
     else if (a == "--epochs") o.epochs = std::atoi(need(i++).c_str());
@@ -316,6 +329,9 @@ int main(int argc, char** argv) {
             t.epochs = o.epochs;
             t.chaos = make_chaos(o, preset, seed);
             t.use_progress_guard = pmode == ygm::progress::mode::engine;
+            t.credit_bytes = static_cast<std::size_t>(o.credit_bytes);
+            t.flood_bytes_per_s =
+                static_cast<std::size_t>(o.flood_bytes_per_s);
 
             ++trials;
             std::vector<std::string> violations;
@@ -331,13 +347,24 @@ int main(int argc, char** argv) {
               const std::string scheme_name(
                   ygm::routing::to_string(t.scheme));
               const std::string pmode_name(ygm::progress::to_string(pmode));
+              // The flow-control knobs ride on the recipe only when set, so
+              // historical recipes replay byte-identically.
+              std::string flow_flags;
+              if (o.flood_bytes_per_s != 0) {
+                flow_flags +=
+                    " --flood " + std::to_string(o.flood_bytes_per_s);
+              }
+              if (o.credit_bytes != 0) {
+                flow_flags +=
+                    " --credit-bytes " + std::to_string(o.credit_bytes);
+              }
               std::fprintf(stderr,
                            "FAIL backend=%s mailbox=%s chaos=%s progress=%s"
                            " %s\n"
                            "     replay: stress_ygm --seeds 1 --seed-base %llu"
                            " --schemes %s --mailboxes %s --timed %s --chaos"
                            " %s --msgs %d --bcasts %d --epochs %d"
-                           " --backend %s --progress %s\n",
+                           " --backend %s --progress %s%s\n",
                            backend_name.c_str(),
                            hybrid ? "hybrid" : "mailbox", preset.c_str(),
                            pmode_name.c_str(), t.describe().c_str(),
@@ -346,7 +373,7 @@ int main(int argc, char** argv) {
                            hybrid ? "hybrid" : "mailbox",
                            timed ? "on" : "off", preset.c_str(), o.msgs,
                            o.bcasts, o.epochs, backend_name.c_str(),
-                           pmode_name.c_str());
+                           pmode_name.c_str(), flow_flags.c_str());
               for (const auto& v : violations) {
                 std::fprintf(stderr, "     %s\n", v.c_str());
               }

@@ -113,9 +113,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // One pass over the events: world metadata + hop records.
+  // One pass over the events: world metadata + hop records + credit stalls.
   std::map<int, world_info> worlds;
   std::vector<causal::hop_record> hops;
+  std::vector<causal::hop_record> stalls;  // credit.stall, reported apart
   for (const auto& ev : root.obj().at("traceEvents").arr()) {
     if (!ev.is_object()) continue;
     const auto& o = ev.obj();
@@ -151,6 +152,13 @@ int main(int argc, char** argv) {
     const auto hb = static_cast<std::uint64_t>(arg_num(*args, "hb", 0));
     h.hop = causal::unpack_hop(hb);
     h.bytes = causal::unpack_bytes(hb);
+    if (kind == causal::hop_kind::credit_stall) {
+      // Backpressure events describe a sending rank, not a message: they
+      // carry the stalled destination in `id`, never stitch into journeys,
+      // and get their own report below.
+      stalls.push_back(h);
+      continue;
+    }
     hops.push_back(h);
   }
 
@@ -189,8 +197,8 @@ int main(int argc, char** argv) {
 
   std::size_t complete = 0, in_flight = 0;
   std::map<std::size_t, std::size_t> legs_histogram;
-  ygm::telemetry::histogram residency[5];  // indexed by hop_kind
-  std::size_t hop_counts[5] = {};
+  ygm::telemetry::histogram residency[6];  // indexed by hop_kind
+  std::size_t hop_counts[6] = {};
   for (const auto& [key, j] : journeys) {
     (j.complete() ? complete : in_flight) += 1;
     if (j.complete()) ++legs_histogram[j.legs()];
@@ -227,6 +235,31 @@ int main(int argc, char** argv) {
     std::printf("  %zu legs x %zu", legs, n);
   }
   std::printf("\n");
+
+  // Backpressure: queue residency attributable to exhausted flow-control
+  // credit. Not part of any journey — a stall delays every message a rank
+  // would have injected, so it is reported as rank-side time.
+  if (!stalls.empty()) {
+    ygm::telemetry::histogram stall_us;
+    std::uint64_t max_unacked = 0;
+    std::map<std::uint64_t, std::size_t> per_dest;
+    for (const auto& s : stalls) {
+      stall_us.record(s.dur_us);
+      max_unacked = std::max(max_unacked, s.bytes);
+      ++per_dest[s.id];  // id carries the stalled destination rank
+    }
+    std::printf("  credit stalls: %zu (p50 %.1f us, p99 %.1f us, max unacked "
+                "%llu bytes)\n",
+                stalls.size(), stall_us.percentile(0.5),
+                stall_us.percentile(0.99),
+                static_cast<unsigned long long>(max_unacked));
+    std::printf("    stalled destinations:");
+    for (const auto& [dest, n] : per_dest) {
+      std::printf("  rank %llu x %zu", static_cast<unsigned long long>(dest),
+                  n);
+    }
+    std::printf("\n");
+  }
 
   // Cross-check every world's observed worst case against the scheme bound.
   bool bound_violated = false;
