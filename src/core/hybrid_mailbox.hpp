@@ -213,6 +213,7 @@ class hybrid_mailbox {
         return;
       }
       ++stats_.deliveries;
+      telemetry::add(telemetry::fast_counter::deliveries);
       on_recv_(m);
       return;
     }
@@ -285,6 +286,9 @@ class hybrid_mailbox {
   void flush() {
     const auto lk = engine_lock();
     const std::size_t flushed_bytes = queued_bytes_;
+    // Live occupancy gauge at per-flush cost (see core::mailbox::flush).
+    telemetry::live::gauge_set(telemetry::live::gauge::queued_bytes,
+                               static_cast<double>(flushed_bytes));
     bool any = false;
     for (int nh : nonempty_) {
       flush_buffer(nh);
@@ -427,6 +431,21 @@ class hybrid_mailbox {
     ++record_counts_[static_cast<std::size_t>(next_hop)];
   }
 
+  /// Live-sketch scheme index (see core::mailbox::scheme_index).
+  unsigned scheme_index() const noexcept {
+    return static_cast<unsigned>(world_->route().kind());
+  }
+
+  /// Live end-to-end latency feed at delivery, from the origin's wire stamp
+  /// (see core::mailbox::note_live_e2e for the clock contract).
+  void note_live_e2e(const telemetry::causal::wire_ctx& c) noexcept {
+    if (c.origin_us <= 0) return;
+    const double e2e_us = telemetry::now_us() - c.origin_us;
+    if (e2e_us < 0) return;
+    telemetry::live::note_latency(scheme_index(),
+                                  telemetry::live::latency_kind::e2e, e2e_us);
+  }
+
   void append_trace_escape(std::vector<std::byte>& buf,
                            const telemetry::causal::wire_ctx& trace) {
     trace_scratch_.clear();
@@ -547,11 +566,16 @@ class hybrid_mailbox {
     auto& used = credit_used_[static_cast<std::size_t>(nh)];
     used += bytes;
     if (used > credit_peak_) credit_peak_ = used;
+    // Live flow-control gauge (see core::mailbox::credit_charge).
+    telemetry::live::gauge_set(telemetry::live::gauge::credit_used,
+                               static_cast<double>(used));
   }
 
   void credit_consume_ack(int from, std::uint64_t amount) {
     auto& used = credit_used_[static_cast<std::size_t>(from)];
     used -= std::min(used, amount);
+    telemetry::live::gauge_set(telemetry::live::gauge::credit_used,
+                               static_cast<double>(used));
   }
 
   void drain_credit_acks() {
@@ -607,10 +631,14 @@ class hybrid_mailbox {
     record_counts_[static_cast<std::size_t>(nh)] = 0;
     auto& pend = pending_traces_[static_cast<std::size_t>(nh)];
     if (!pend.empty()) {
+      const double flush_us = telemetry::now_us();
       for (const auto& p : pend) {
         telemetry::causal::record_hop(
             p.ctx, telemetry::causal::hop_kind::flush, p.enqueue_us,
             buf.size());
+        telemetry::live::note_latency(scheme_index(),
+                                      telemetry::live::latency_kind::flush,
+                                      flush_us - p.enqueue_us);
       }
       pend.clear();
     }
@@ -652,6 +680,11 @@ class hybrid_mailbox {
         telemetry::causal::record_hop(rec.tctx,
                                       telemetry::causal::hop_kind::handoff,
                                       rec.trace_push_us, rec.payload->size());
+        if (rec.trace_push_us > 0) {
+          telemetry::live::note_latency(
+              scheme_index(), telemetry::live::latency_kind::handoff,
+              telemetry::now_us() - rec.trace_push_us);
+        }
       }
       handle_record(std::move(rec), defer_batch);
     }
@@ -765,6 +798,7 @@ class hybrid_mailbox {
           telemetry::causal::record_hop(rec.tctx,
                                         telemetry::causal::hop_kind::deliver,
                                         -1, rec.payload->size());
+          note_live_e2e(rec.tctx);
         }
         deliver(*rec.payload);
       }
@@ -897,6 +931,7 @@ class hybrid_mailbox {
                                         telemetry::causal::hop_kind::deliver,
                                         rec.trace_push_us,
                                         rec.payload->size());
+          note_live_e2e(rec.tctx);
         }
         deliver(*rec.payload);
         any = true;
@@ -911,6 +946,7 @@ class hybrid_mailbox {
     ar & m;
     YGM_CHECK(ar.exhausted(), "message payload has trailing bytes");
     ++stats_.deliveries;
+    telemetry::add(telemetry::fast_counter::deliveries);
     on_recv_(m);
   }
 

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "telemetry/causal.hpp"
+#include "telemetry/live.hpp"
 
 namespace ygm {
 
@@ -20,7 +21,9 @@ std::optional<std::size_t> g_launch_credit_bytes;
 struct scoped_run_defaults {
   explicit scoped_run_defaults(const run_options& opts)
       : prev_sample_(telemetry::causal::sample_rate()),
-        prev_outq_cap_(transport::outq_cap_bytes()) {
+        prev_outq_cap_(transport::outq_cap_bytes()),
+        prev_sample_ms_(telemetry::live::sample_ms_override()),
+        prev_statusz_(telemetry::live::statusz_override()) {
     if (opts.virtual_network) g_launch_vnet = *opts.virtual_network;
     if (opts.trace_sample) {
       YGM_CHECK(*opts.trace_sample >= 0.0 && *opts.trace_sample <= 1.0,
@@ -29,16 +32,22 @@ struct scoped_run_defaults {
     }
     if (opts.credit_bytes) g_launch_credit_bytes = *opts.credit_bytes;
     if (opts.outq_cap_bytes) transport::set_outq_cap_bytes(*opts.outq_cap_bytes);
+    if (opts.sample_ms >= 0) telemetry::live::set_sample_ms_override(opts.sample_ms);
+    if (opts.statusz >= 0) telemetry::live::set_statusz_override(opts.statusz);
   }
   ~scoped_run_defaults() {
     g_launch_vnet.reset();
     g_launch_credit_bytes.reset();
     telemetry::causal::set_sample_rate(prev_sample_);
     transport::set_outq_cap_bytes(prev_outq_cap_);
+    telemetry::live::set_sample_ms_override(prev_sample_ms_);
+    telemetry::live::set_statusz_override(prev_statusz_);
   }
 
   double prev_sample_;
   std::size_t prev_outq_cap_;
+  int prev_sample_ms_;
+  int prev_statusz_;
 };
 
 mpisim::run_options to_mpisim_options(const run_options& opts) {

@@ -24,6 +24,8 @@
 //   virtual_network  (none)              untimed
 //   credit_bytes     YGM_CREDIT_BYTES    1 MiB per destination (0 = off)
 //   outq_cap_bytes   YGM_OUTQ_CAP_BYTES  4 MiB per channel (0 = off)
+//   sample_ms        YGM_SAMPLE_MS       100 ms live sampler (0 = off)
+//   statusz          YGM_STATUSZ         off (per-process UDS endpoint)
 //
 // (YGM_STALL_TIMEOUT_MS keeps its env-only path — it is a debugging
 // deadman, not a run parameter.)
@@ -92,6 +94,18 @@ struct run_options {
   /// beneath the credit budget; nullopt defers to YGM_OUTQ_CAP_BYTES
   /// (default 4 MiB). 0 disables the cap.
   std::optional<std::size_t> outq_cap_bytes;
+
+  /// Live-telemetry sampling period in milliseconds (docs/TELEMETRY.md
+  /// §Live telemetry); -1 defers to YGM_SAMPLE_MS (default 100). 0 turns
+  /// the time-series sampler off. With the progress engine on, sampling
+  /// rides the engine thread; otherwise a dedicated low-rate thread runs
+  /// per OS process hosting ranks.
+  int sample_ms = -1;
+
+  /// Per-process introspection endpoint (a Unix-domain socket answering
+  /// metrics/series/latency/health as JSON, see tools/ygm_top); -1 defers
+  /// to YGM_STATUSZ (default off), 0 forces off, 1 forces on.
+  int statusz = -1;
 };
 
 /// Run `fn(world_comm)` on opts.nranks ranks. Blocks until every rank

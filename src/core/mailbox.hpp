@@ -158,6 +158,7 @@ class mailbox {
         return;
       }
       ++stats_.deliveries;
+      telemetry::add(telemetry::fast_counter::deliveries);
       on_recv_(m);
       return;
     }
@@ -248,6 +249,10 @@ class mailbox {
   void flush() {
     const auto lk = engine_lock();
     const std::size_t flushed_bytes = queued_bytes_;
+    // Live occupancy gauge, sampled at flush time: the window max is the
+    // coalescing high-water mark, at per-flush (not per-message) cost.
+    telemetry::live::gauge_set(telemetry::live::gauge::queued_bytes,
+                               static_cast<double>(flushed_bytes));
     bool any = false;
     for (int nh : nonempty_) {
       flush_buffer(nh);
@@ -362,6 +367,25 @@ class mailbox {
                      std::size_t before) {
     queued_bytes_ += buf.size() - before;
     ++record_counts_[static_cast<std::size_t>(next_hop)];
+  }
+
+  /// This world's routing scheme as a live-sketch index (the enum order is
+  /// pinned against telemetry/live.hpp's kSchemeNames by router.cpp).
+  unsigned scheme_index() const noexcept {
+    return static_cast<unsigned>(world_->route().kind());
+  }
+
+  /// Live end-to-end latency feed: one sketch sample per traced delivery,
+  /// measured against the origin's wire-stamped send time. All lanes share
+  /// one session clock (socket children inherit the pre-fork epoch), so the
+  /// difference is meaningful across ranks; a zero stamp means the origin
+  /// thread had no lane — skip.
+  void note_live_e2e(const telemetry::causal::wire_ctx& c) noexcept {
+    if (c.origin_us <= 0) return;
+    const double e2e_us = telemetry::now_us() - c.origin_us;
+    if (e2e_us < 0) return;
+    telemetry::live::note_latency(scheme_index(),
+                                  telemetry::live::latency_kind::e2e, e2e_us);
   }
 
   /// Annotation record first, so the receiver sees the context before the
@@ -515,6 +539,10 @@ class mailbox {
     auto& used = credit_used_[static_cast<std::size_t>(nh)];
     used += bytes;
     if (used > credit_peak_) credit_peak_ = used;
+    // Live flow-control gauge: per-link occupancy samples; the window max
+    // tracks the most indebted link this sampling period.
+    telemetry::live::gauge_set(telemetry::live::gauge::credit_used,
+                               static_cast<double>(used));
   }
 
   /// A credit return from `from` arrived: that many of our bytes landed
@@ -523,6 +551,8 @@ class mailbox {
   void credit_consume_ack(int from, std::uint64_t amount) {
     auto& used = credit_used_[static_cast<std::size_t>(from)];
     used -= std::min(used, amount);
+    telemetry::live::gauge_set(telemetry::live::gauge::credit_used,
+                               static_cast<double>(used));
   }
 
   /// Receive standalone credit acks. Their dedicated tag keeps them
@@ -592,10 +622,14 @@ class mailbox {
       // One flush hop per sampled record: the span covers the record's
       // residency in this coalescing buffer, the byte arg is the size of
       // the wire packet it rode out in.
+      const double flush_us = telemetry::now_us();
       for (const auto& p : pend) {
         telemetry::causal::record_hop(
             p.ctx, telemetry::causal::hop_kind::flush, p.enqueue_us,
             buf.size());
+        telemetry::live::note_latency(scheme_index(),
+                                      telemetry::live::latency_kind::flush,
+                                      flush_us - p.enqueue_us);
       }
       pend.clear();
     }
@@ -772,6 +806,7 @@ class mailbox {
           telemetry::causal::record_hop(*pending_trace,
                                         telemetry::causal::hop_kind::deliver,
                                         pushed_us, rec.payload.size());
+          note_live_e2e(*pending_trace);
           pending_trace = nullptr;
         }
         deliver(rec.payload);
@@ -874,6 +909,7 @@ class mailbox {
             telemetry::causal::record_hop(
                 *pending_trace, telemetry::causal::hop_kind::deliver, -1,
                 rec.payload.size());
+            note_live_e2e(*pending_trace);
             pending_trace = nullptr;
           }
           deliver(rec.payload);
@@ -902,6 +938,7 @@ class mailbox {
     ar & m;
     YGM_CHECK(ar.exhausted(), "message payload has trailing bytes");
     ++stats_.deliveries;
+    telemetry::add(telemetry::fast_counter::deliveries);
     on_recv_(m);
   }
 

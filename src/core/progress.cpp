@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "core/comm_world.hpp"
+#include "telemetry/live.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transport/endpoint.hpp"
 
@@ -151,10 +152,30 @@ bool station::service() {
 
 engine::engine(options opts, int telemetry_world)
     : opts_(opts), telemetry_world_(telemetry_world) {
+  // Advertise as the live-telemetry driver before make_process_services can
+  // run (launch creates the engine first), so the sampler rides this
+  // thread's passes instead of starting its own.
+  telemetry::live::set_engine_driver(true);
+  telemetry::live::set_engine_stats_provider([this] {
+    const counters c = stats();
+    telemetry::live::engine_stats s;
+    s.valid = true;
+    s.passes = c.passes;
+    s.steal_attempts = c.steal_attempts;
+    s.steals = c.steals;
+    s.hook_pumps = c.hook_pumps;
+    return s;
+  });
   thread_ = std::thread([this] { loop(); });
 }
 
 engine::~engine() {
+  // Unpublish from live telemetry before tearing the thread down so statusz
+  // never queries a half-destroyed engine. The sampler (torn down before the
+  // engine by the launch layer) falls back to never ticking once the driver
+  // flag drops.
+  telemetry::live::set_engine_stats_provider({});
+  telemetry::live::set_engine_driver(false);
   stop_.store(true, std::memory_order_release);
   thread_.join();
   // The engine lane (if any) was written by the now-joined thread; without
@@ -229,6 +250,9 @@ void engine::loop() {
       }
     }
     passes_.fetch_add(1, std::memory_order_relaxed);
+    // Drive the live sampler from this thread: one due-check per pass, a
+    // real tick only every sample period (the sampler owns the cadence).
+    telemetry::live::sampler_poll();
 
     if (did_work) {
       idle_passes = 0;

@@ -94,7 +94,10 @@ struct mailbox_stats {
     const std::string p(prefix);
     m.counter(p + ".app_sends") += app_sends;
     m.counter(p + ".app_bcasts") += app_bcasts;
-    m.counter(p + ".deliveries") += deliveries;
+    // deliveries is intentionally absent: it is counted live through
+    // fast_counter::deliveries at the same increment sites (the sampler
+    // needs it mid-run), and the fast counters fold into this registry at
+    // merge — publishing it here too would double the teardown total.
     m.counter(p + ".hops_sent") += hops_sent;
     m.counter(p + ".hops_received") += hops_received;
     m.counter(p + ".forwards") += forwards;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "telemetry/live.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transport/inproc/fabric.hpp"
 #include "transport/socket/launch.hpp"
@@ -37,9 +38,12 @@ std::vector<std::vector<std::byte>> run_inproc(
   const int tworld = tsess != nullptr ? tsess->begin_world(nranks) : -1;
 
   // Per-process services (e.g. the progress engine) come up before any rank
-  // body can observe them and stay up until every rank has finished.
+  // body can observe them and stay up until every rank has finished. Live
+  // telemetry services (sampler/statusz) start after the engine so the
+  // sampler can detect an engine driver and skip its own thread.
   std::shared_ptr<void> services;
   if (opts.process_services) services = opts.process_services(nranks, tworld);
+  std::shared_ptr<void> live_services = telemetry::live::make_process_services();
 
   const auto members = world_members(nranks);
 
@@ -74,7 +78,9 @@ std::vector<std::vector<std::byte>> run_inproc(
   for (auto& t : threads) t.join();
 
   // Tear services down before rethrowing: a progress engine must not
-  // outlive the fabric the rank endpoints lived on.
+  // outlive the fabric the rank endpoints lived on, and the sampler must
+  // stop before its engine driver does.
+  live_services.reset();
   services.reset();
 
   if (first_error) std::rethrow_exception(first_error);
@@ -101,6 +107,8 @@ std::vector<std::vector<std::byte>> run_socket(
                                  : -1;
           services = opts.process_services(ep.world_size(), tworld);
         }
+        std::shared_ptr<void> live_services =
+            telemetry::live::make_process_services();
         const auto members = world_members(ep.world_size());
         comm c(ep, members, ep.world_rank(), transport::world_context,
                transport::world_context + 1);

@@ -24,6 +24,7 @@ void encode_wire(const wire_ctx& c, std::vector<std::byte>& out) {
   std::memcpy(p + 8, &c.origin, 2);
   std::memcpy(p + 10, &c.hop, 2);
   std::memcpy(p + 12, &c.seq, 4);
+  std::memcpy(p + 16, &c.origin_us, 8);
 }
 
 wire_ctx decode_wire(std::span<const std::byte> in) {
@@ -33,6 +34,7 @@ wire_ctx decode_wire(std::span<const std::byte> in) {
   std::memcpy(&c.origin, in.data() + 8, 2);
   std::memcpy(&c.hop, in.data() + 10, 2);
   std::memcpy(&c.seq, in.data() + 12, 4);
+  std::memcpy(&c.origin_us, in.data() + 16, 8);
   return c;
 }
 

@@ -4,7 +4,7 @@
 // did this RANK's time go?" through spans, but neither can answer "why did
 // THIS message take three rounds to arrive?". This layer closes that gap
 // with distributed-tracing-style causality: a deterministic sample of
-// point-to-point messages carries a compact 16-byte trace context on the
+// point-to-point messages carries a compact 24-byte trace context on the
 // packet wire format (core/packet.hpp's trace-annotation escape record),
 // and every stage of a sampled message's life — enqueue into a coalescing
 // buffer, the coalesced flush that put it on the wire, the zero-copy hybrid
@@ -19,7 +19,7 @@
 //     and per received record; zero wire bytes; nothing recorded;
 //   * sampling on, message not sampled — same as off (the decision is a
 //     stateless hash of (origin, seq), no RNG state, no allocation);
-//   * message sampled — one escape record (~22 wire bytes) per hop leg and
+//   * message sampled — one escape record (~30 wire bytes) per hop leg and
 //     one 64-byte ring event per hop.
 // Under -DYGM_TELEMETRY=OFF every hot-path helper here compiles to nothing,
 // like the rest of the telemetry hooks.
@@ -58,17 +58,24 @@ namespace ygm::telemetry::causal {
 
 // ------------------------------------------------------- wire trace context
 
-/// The 16 bytes a sampled message carries across every hop.
+/// The 24 bytes a sampled message carries across every hop.
 struct wire_ctx {
   std::uint64_t id = 0;     ///< 48-bit journey id (exact in a JSON double)
   std::uint16_t origin = 0; ///< originating rank
   std::uint16_t hop = 0;    ///< network legs completed so far
   std::uint32_t seq = 0;    ///< origin-local send sequence number
+  /// Session-clock timestamp of the origin send() (microseconds), stamped
+  /// by try_begin. Rides the wire so the delivering rank can feed live
+  /// end-to-end latency sketches (live.hpp) without journey stitching.
+  /// Comparable across ranks: inproc lanes share one session clock, and
+  /// socket children inherit the pre-fork session epoch (CLOCK_MONOTONIC
+  /// is system-wide). 0 when the origin thread had no lane clock.
+  double origin_us = 0;
 };
 
-inline constexpr std::size_t wire_ctx_bytes = 16;
+inline constexpr std::size_t wire_ctx_bytes = 24;
 
-/// Serialize/deserialize the fixed 16-byte wire layout (field-wise copies,
+/// Serialize/deserialize the fixed 24-byte wire layout (field-wise copies,
 /// so the encode and decode sides agree independent of struct padding).
 void encode_wire(const wire_ctx& c, std::vector<std::byte>& out);
 wire_ctx decode_wire(std::span<const std::byte> in);
@@ -111,6 +118,7 @@ inline bool try_begin(int origin, std::uint32_t seq, std::uint32_t salt,
   out.origin = static_cast<std::uint16_t>(origin);
   out.hop = 0;
   out.seq = seq;
+  out.origin_us = now_us();  // live e2e latency base (tls() checked above)
   return true;
 #endif
 }

@@ -104,13 +104,18 @@ class histogram {
     }
   }
 
- private:
-  static int bucket_of(double v) noexcept {
+  /// The log2 bucket a sample lands in — public so the live-telemetry
+  /// sketches (live.hpp) and the sketch-vs-trace agreement tests share the
+  /// exact mapping the offline histograms use.
+  static int bucket_index(double v) noexcept {
     if (v < 1.0) return 0;
     int e = 0;
     std::frexp(v, &e);  // v = m * 2^e with m in [0.5, 1)
     return e < num_buckets ? e : num_buckets - 1;
   }
+
+ private:
+  static int bucket_of(double v) noexcept { return bucket_index(v); }
 
   std::array<std::uint64_t, num_buckets> buckets_{};
   std::uint64_t count_ = 0;

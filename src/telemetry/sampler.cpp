@@ -1,0 +1,200 @@
+#include "telemetry/sampler.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace ygm::telemetry::live {
+
+namespace {
+// Installed-sampler slot. All access to the pointer goes through this
+// mutex, so live::sampler_poll() / statusz reads can never race sampler
+// destruction (the destructor uninstalls under the same lock before
+// joining its thread).
+std::mutex g_inst_mtx;
+sampler* g_inst = nullptr;
+
+constexpr unsigned kFastCounters =
+    static_cast<unsigned>(fast_counter::count_);
+static_assert(kFastCounters <= 64, "grow sampler::lane_state::prev_counters");
+}  // namespace
+
+sampler::sampler(config cfg)
+    : cfg_(cfg), epoch_(std::chrono::steady_clock::now()) {
+  {
+    std::lock_guard lock(g_inst_mtx);
+    if (g_inst == nullptr) g_inst = this;
+  }
+  if (cfg_.own_thread && cfg_.period_ms > 0) {
+    thread_ = std::thread([this] { thread_main(); });
+  }
+}
+
+sampler::~sampler() {
+  {
+    std::lock_guard lock(g_inst_mtx);
+    if (g_inst == this) g_inst = nullptr;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+double sampler::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void sampler::thread_main() {
+  // Sleep in short slices so teardown never waits a full period; the tick
+  // cadence itself is enforced by poll()'s due check.
+  const auto slice =
+      std::chrono::milliseconds(std::clamp(cfg_.period_ms, 1, 5));
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(slice);
+    poll();
+  }
+}
+
+void sampler::poll() {
+  if (cfg_.period_ms <= 0) return;
+  std::lock_guard lock(mtx_);
+  const double now = now_us();
+  if (now - last_tick_us_ < static_cast<double>(cfg_.period_ms) * 1000.0) {
+    return;
+  }
+  tick();
+}
+
+void sampler::tick_now() {
+  std::lock_guard lock(mtx_);
+  tick();
+}
+
+// Caller holds mtx_.
+void sampler::tick() {
+  const double now = now_us();
+  const double dt_s = std::max((now - last_tick_us_) * 1e-6, 1e-9);
+  const std::uint64_t cur_epoch = window_epoch();
+
+  std::set<std::pair<int, int>> bound_lanes;
+  std::set<const void*> bound_recs;
+
+  lane_registry::instance().for_each([&](recorder& rec, int world, int rank) {
+    bound_lanes.emplace(world, rank);
+    bound_recs.insert(&rec);
+    lane_state& ls = lane_states_[&rec];
+
+    // Counters -> windowed rates. A series appears once its counter first
+    // moves and then tracks every window (including zero-rate ones, so
+    // gaps in activity are visible instead of silently elided).
+    for (unsigned c = 0; c < kFastCounters; ++c) {
+      const std::uint64_t v =
+          rec.fast_value(static_cast<fast_counter>(c));
+      if (ls.primed && v != 0) {
+        const std::uint64_t prev = ls.prev_counters[c];
+        const double rate =
+            static_cast<double>(v >= prev ? v - prev : 0) / dt_s;
+        std::string metric = "rate.";
+        metric += fast_counter_name(static_cast<fast_counter>(c));
+        series_[{world, rank, std::move(metric)}].push({now, rate},
+                                                       cfg_.capacity);
+      }
+      ls.prev_counters[c] = v;
+    }
+    ls.primed = true;
+
+    // Live gauges -> last-value series + per-window min/mean/max.
+    for (unsigned g = 0; g < static_cast<unsigned>(gauge::count_); ++g) {
+      const auto w = rec.live().gauges[g].read(cur_epoch);
+      std::string base = "live.";
+      base += gauge_name(static_cast<gauge>(g));
+      if (w.count == 0 && w.last == 0 &&
+          series_.find({world, rank, base}) == series_.end()) {
+        continue;  // never touched: no series
+      }
+      series_[{world, rank, base}].push({now, w.last}, cfg_.capacity);
+      if (w.count != 0) {
+        series_[{world, rank, base + ".min"}].push({now, w.min},
+                                                   cfg_.capacity);
+        series_[{world, rank, base + ".mean"}].push({now, w.mean},
+                                                    cfg_.capacity);
+        series_[{world, rank, base + ".max"}].push({now, w.max},
+                                                   cfg_.capacity);
+      }
+    }
+  });
+
+  // Stale-series fix: a lane that unbound (its world tore down) loses its
+  // series entirely — live views must not coast on last values forever.
+  for (auto it = series_.begin(); it != series_.end();) {
+    const auto lane = std::make_pair(std::get<0>(it->first),
+                                     std::get<1>(it->first));
+    if (bound_lanes.count(lane) == 0) {
+      it = series_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = lane_states_.begin(); it != lane_states_.end();) {
+    if (bound_recs.count(it->first) == 0) {
+      it = lane_states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  bump_window_epoch();
+  last_tick_us_ = now;
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<sampler::series_snapshot> sampler::snapshot() const {
+  std::lock_guard lock(mtx_);
+  std::vector<series_snapshot> out;
+  out.reserve(series_.size());
+  for (const auto& [key, s] : series_) {
+    series_snapshot snap;
+    snap.world = std::get<0>(key);
+    snap.rank = std::get<1>(key);
+    snap.metric = std::get<2>(key);
+    if (s.filled) {
+      snap.points.insert(snap.points.end(), s.ring.begin() + s.next,
+                         s.ring.end());
+      snap.points.insert(snap.points.end(), s.ring.begin(),
+                         s.ring.begin() + s.next);
+    } else {
+      snap.points = s.ring;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+sampler* sampler::installed() noexcept {
+  std::lock_guard lock(g_inst_mtx);
+  return g_inst;
+}
+
+std::vector<sampler::series_snapshot> sampler::snapshot_installed() {
+  std::lock_guard lock(g_inst_mtx);
+  if (g_inst == nullptr) return {};
+  return g_inst->snapshot();
+}
+
+std::pair<int, std::uint64_t> sampler::info_installed() {
+  std::lock_guard lock(g_inst_mtx);
+  if (g_inst == nullptr) return {0, 0};
+  return {g_inst->cfg().period_ms, g_inst->ticks()};
+}
+
+// Declared in live.hpp; defined here so the fast path stays one mutex +
+// clock compare for drivers (the engine loop pumps this every pass).
+void sampler_poll() noexcept {
+  std::lock_guard lock(g_inst_mtx);
+  if (g_inst != nullptr) g_inst->poll();
+}
+
+}  // namespace ygm::telemetry::live

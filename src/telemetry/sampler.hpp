@@ -1,0 +1,126 @@
+// Time-series sampler (docs/TELEMETRY.md §Live telemetry).
+//
+// Periodically snapshots every *bound* telemetry lane (live::lane_registry)
+// into fixed-capacity ring-buffered series:
+//
+//   * fast counters  -> windowed rates ("rate.mpi.sends", events/s)
+//   * live gauges    -> last-value series plus per-window min/mean/max
+//                       ("live.queued_bytes", ".min", ".mean", ".max")
+//
+// One sampler per process. It rides the progress-engine thread when an
+// engine registered as driver (live::sampler_poll() from the engine loop);
+// otherwise it runs a dedicated sleep-driven thread. Series for lanes that
+// unbind (world teardown) are dropped on the next tick — live views never
+// coast on a dead world's last values.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "telemetry/live.hpp"
+
+namespace ygm::telemetry::live {
+
+class sampler {
+ public:
+  struct config {
+    int period_ms = 100;         ///< tick period; <= 0 never ticks via poll
+    std::size_t capacity = 600;  ///< points retained per series (ring)
+    bool own_thread = true;      ///< false: an external driver calls poll()
+  };
+
+  struct point {
+    double ts_us = 0;  ///< sampler clock, microseconds since construction
+    double value = 0;
+  };
+
+  struct series_snapshot {
+    int world = 0;
+    int rank = 0;
+    std::string metric;
+    std::vector<point> points;  ///< oldest first
+  };
+
+  explicit sampler(config cfg);
+  ~sampler();
+
+  sampler(const sampler&) = delete;
+  sampler& operator=(const sampler&) = delete;
+
+  const config& cfg() const noexcept { return cfg_; }
+
+  /// Driver-side pump: runs one tick when the period elapsed. Thread-safe.
+  void poll();
+
+  /// Force one tick regardless of the period (tests).
+  void tick_now();
+
+  std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy out every live series (oldest point first).
+  std::vector<series_snapshot> snapshot() const;
+
+  /// Microseconds since construction on the sampler clock.
+  double now_us() const noexcept;
+
+  /// The process's installed sampler, or nullptr. The pointer is only
+  /// stable while the caller holds no reference across sampler teardown;
+  /// prefer snapshot_installed()/poll via live::sampler_poll(), which
+  /// serialize against destruction internally.
+  static sampler* installed() noexcept;
+
+  /// snapshot() of the installed sampler (empty when none), serialized
+  /// against sampler teardown.
+  static std::vector<series_snapshot> snapshot_installed();
+
+  /// {period_ms, ticks} of the installed sampler ({0, 0} when none).
+  static std::pair<int, std::uint64_t> info_installed();
+
+ private:
+  void tick();
+  void thread_main();
+
+  using series_key = std::tuple<int, int, std::string>;  // world, rank, metric
+
+  struct series {
+    std::vector<point> ring;  // ring buffer, `next` is the oldest slot
+    std::size_t next = 0;
+    bool filled = false;
+    bool touched = false;  // seen a bound lane this tick (else dropped)
+    void push(point p, std::size_t cap) {
+      if (ring.size() < cap) {
+        ring.push_back(p);
+      } else {
+        ring[next] = p;
+        next = (next + 1) % cap;
+        filled = true;
+      }
+    }
+  };
+
+  struct lane_state {
+    std::uint64_t prev_counters[64] = {};  // >= fast_counter::count_
+    bool primed = false;
+  };
+
+  config cfg_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mtx_;  // series map + lane states + last tick time
+  std::map<series_key, series> series_;
+  std::map<const void*, lane_state> lane_states_;
+  double last_tick_us_ = 0;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace ygm::telemetry::live

@@ -32,6 +32,8 @@ std::string_view fast_counter_name(fast_counter c) {
       return "pool.misses";
     case fast_counter::alloc_bytes:
       return "alloc.bytes";
+    case fast_counter::deliveries:
+      return "mailbox.deliveries";
     case fast_counter::count_:
       break;
   }
@@ -82,18 +84,19 @@ name_id recorder::intern(std::string_view s) {
 }
 
 void recorder::fold_fast_metrics() {
+  // exchange(0) instead of read-then-clear: the live sampler may still be
+  // reading these slots through atomic_refs while a crash-dump export runs.
   for (unsigned c = 0; c < static_cast<unsigned>(fast_counter::count_); ++c) {
-    if (fast_counters_[c] != 0) {
-      metrics_.counter(fast_counter_name(static_cast<fast_counter>(c))) +=
-          fast_counters_[c];
-      fast_counters_[c] = 0;
+    const std::uint64_t v = std::atomic_ref<std::uint64_t>(fast_counters_[c])
+                                .exchange(0, std::memory_order_relaxed);
+    if (v != 0) {
+      metrics_.counter(fast_counter_name(static_cast<fast_counter>(c))) += v;
     }
   }
   for (unsigned s = 0; s < kSchemes; ++s) {
-    if (scheme_hops_[s] != 0) {
-      metrics_.counter(kSchemeHopNames[s]) += scheme_hops_[s];
-      scheme_hops_[s] = 0;
-    }
+    const std::uint64_t v = std::atomic_ref<std::uint64_t>(scheme_hops_[s])
+                                .exchange(0, std::memory_order_relaxed);
+    if (v != 0) metrics_.counter(kSchemeHopNames[s]) += v;
   }
   for (unsigned h = 0; h < static_cast<unsigned>(fast_histogram::count_);
        ++h) {
@@ -101,6 +104,20 @@ void recorder::fold_fast_metrics() {
       metrics_.histo(fast_histogram_name(static_cast<fast_histogram>(h)))
           .merge(fast_histos_[h]);
       fast_histos_[h] = histogram{};
+    }
+  }
+  // Live latency sketches fold into named registry histograms
+  // ("live.e2e_us.NLNR", ...) — that is how they ship across the socket
+  // backend's telemetry lanes and reach merged_metrics() on any backend.
+  for (unsigned s = 0; s < live::kSchemes; ++s) {
+    for (unsigned k = 0; k < static_cast<unsigned>(live::latency_kind::count_);
+         ++k) {
+      auto& sk = live_.sketches[s][k];
+      if (sk.count.load(std::memory_order_relaxed) == 0) continue;
+      metrics_
+          .histo(live::sketch_metric_name(
+              s, static_cast<live::latency_kind>(k)))
+          .merge(sk.take());
     }
   }
   // Fold only the delta so repeated exports never double-count drops.
@@ -210,11 +227,15 @@ constinit thread_local recorder* tls_recorder = nullptr;
 }
 
 rank_scope::rank_scope(session& s, int world, int rank)
-    : prev_(detail::tls_recorder) {
-  detail::tls_recorder = &s.rank_recorder(world, rank);
+    : prev_(detail::tls_recorder), bound_(&s.rank_recorder(world, rank)) {
+  detail::tls_recorder = bound_;
+  live::lane_registry::instance().bind(bound_, world, rank);
 }
 
-rank_scope::~rank_scope() { detail::tls_recorder = prev_; }
+rank_scope::~rank_scope() {
+  live::lane_registry::instance().unbind(bound_);
+  detail::tls_recorder = prev_;
+}
 
 // ------------------------------------------------------ cold-path helpers
 

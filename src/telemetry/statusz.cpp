@@ -1,0 +1,305 @@
+#include "telemetry/statusz.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "telemetry/json_util.hpp"
+#include "telemetry/live.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ygm::telemetry::live {
+
+// ---------------------------------------------------------------- renderer
+
+namespace {
+
+std::string render_metrics() {
+  std::string out = "{\"pid\":" + std::to_string(::getpid()) + ",\"lanes\":[";
+  bool first_lane = true;
+  lane_registry::instance().for_each([&](recorder& rec, int world, int rank) {
+    if (!first_lane) out += ',';
+    first_lane = false;
+    out += "{\"world\":" + std::to_string(world) +
+           ",\"rank\":" + std::to_string(rank) + ",\"counters\":{";
+    for (unsigned c = 0; c < static_cast<unsigned>(fast_counter::count_);
+         ++c) {
+      if (c != 0) out += ',';
+      out += '"';
+      out += json_escape(fast_counter_name(static_cast<fast_counter>(c)));
+      out += "\":";
+      out += std::to_string(rec.fast_value(static_cast<fast_counter>(c)));
+    }
+    out += "},\"scheme_hops\":[";
+    for (unsigned s = 0; s < kSchemes; ++s) {
+      if (s != 0) out += ',';
+      out += std::to_string(rec.fast_scheme_hop_value(s));
+    }
+    out += "],\"gauges\":{";
+    const std::uint64_t epoch = window_epoch();
+    for (unsigned g = 0; g < static_cast<unsigned>(gauge::count_); ++g) {
+      if (g != 0) out += ',';
+      const auto w = rec.live().gauges[g].read(epoch);
+      out += '"';
+      out += json_escape(gauge_name(static_cast<gauge>(g)));
+      out += "\":";
+      out += json_number(w.last);
+    }
+    out += "}}";
+  });
+  out += "]}";
+  return out;
+}
+
+std::string render_series() {
+  const auto [period_ms, ticks] = sampler::info_installed();
+  std::string out = "{\"pid\":" + std::to_string(::getpid()) +
+                    ",\"sample_ms\":" + std::to_string(period_ms) +
+                    ",\"ticks\":" + std::to_string(ticks) + ",\"series\":[";
+  bool first = true;
+  for (const auto& s : sampler::snapshot_installed()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"world\":" + std::to_string(s.world) +
+           ",\"rank\":" + std::to_string(s.rank) + ",\"metric\":\"" +
+           json_escape(s.metric) + "\",\"points\":[";
+    for (std::size_t i = 0; i < s.points.size(); ++i) {
+      if (i != 0) out += ',';
+      out += '[';
+      out += json_number(s.points[i].ts_us);
+      out += ',';
+      out += json_number(s.points[i].value);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_latency() {
+  // Merge every bound lane's sketches per (scheme, kind) — live p50/p99/
+  // p999 for this process, plus the raw bucket parts so a cross-process
+  // consumer (ygm_top) can re-merge exactly.
+  histogram merged[kSchemes][static_cast<unsigned>(latency_kind::count_)];
+  lane_registry::instance().for_each([&](recorder& rec, int, int) {
+    for (unsigned s = 0; s < kSchemes; ++s) {
+      for (unsigned k = 0; k < static_cast<unsigned>(latency_kind::count_);
+           ++k) {
+        merged[s][k].merge(rec.live().sketches[s][k].snapshot());
+      }
+    }
+  });
+  std::string out =
+      "{\"pid\":" + std::to_string(::getpid()) + ",\"latency\":[";
+  bool first = true;
+  for (unsigned s = 0; s < kSchemes; ++s) {
+    for (unsigned k = 0; k < static_cast<unsigned>(latency_kind::count_);
+         ++k) {
+      const histogram& h = merged[s][k];
+      if (h.count() == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += "{\"scheme\":\"";
+      out += json_escape(scheme_name(s));
+      out += "\",\"kind\":\"";
+      out += json_escape(latency_kind_name(static_cast<latency_kind>(k)));
+      out += "\",\"count\":" + std::to_string(h.count());
+      out += ",\"sum\":" + json_number(h.sum());
+      out += ",\"min\":" + json_number(h.min());
+      out += ",\"max\":" + json_number(h.max());
+      out += ",\"p50\":" + json_number(h.percentile(0.50));
+      out += ",\"p99\":" + json_number(h.percentile(0.99));
+      out += ",\"p999\":" + json_number(h.percentile(0.999));
+      out += ",\"buckets\":[";
+      bool first_bucket = true;
+      for (int b = 0; b < histogram::num_buckets; ++b) {
+        const std::uint64_t n = h.buckets()[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        if (!first_bucket) out += ',';
+        first_bucket = false;
+        out += '[' + std::to_string(b) + ',' + std::to_string(n) + ']';
+      }
+      out += "]}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_health() {
+  const auto [period_ms, ticks] = sampler::info_installed();
+  const engine_stats es = query_engine_stats();
+  std::string out = "{\"pid\":" + std::to_string(::getpid()) +
+                    ",\"ok\":true,\"sample_ms\":" + std::to_string(period_ms) +
+                    ",\"ticks\":" + std::to_string(ticks) + ",\"lanes\":" +
+                    std::to_string(lane_registry::instance().bound_count()) +
+                    ",\"engine\":{\"active\":" +
+                    (es.valid ? "true" : "false");
+  if (es.valid) {
+    out += ",\"passes\":" + std::to_string(es.passes);
+    out += ",\"steal_attempts\":" + std::to_string(es.steal_attempts);
+    out += ",\"steals\":" + std::to_string(es.steals);
+    out += ",\"hook_pumps\":" + std::to_string(es.hook_pumps);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         (s.front() == ' ' || s.front() == '\n' || s.front() == '\r' ||
+          s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\n' || s.back() == '\r' ||
+          s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string statusz_render(std::string_view request) {
+  const std::string_view req = trim(request);
+  if (req == "metrics") return render_metrics();
+  if (req == "series") return render_series();
+  if (req == "latency") return render_latency();
+  if (req == "health") return render_health();
+  return "{\"error\":\"unknown request\",\"expected\":[\"metrics\","
+         "\"series\",\"latency\",\"health\"]}";
+}
+
+// ------------------------------------------------------------------ server
+
+statusz_server::statusz_server(config cfg) {
+  std::string path =
+      cfg.dir + "/ygm-statusz." + std::to_string(::getpid()) + ".sock";
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "ygm statusz: socket path too long, disabled: %s\n",
+                 path.c_str());
+    return;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 16) != 0) {
+    std::fprintf(stderr, "ygm statusz: cannot serve on %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return;
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+    return;
+  }
+  listen_fd_ = fd;
+  path_ = std::move(path);
+  thread_ = std::thread([this] { serve(); });
+}
+
+statusz_server::~statusz_server() {
+  if (listen_fd_ >= 0) {
+    const char byte = 0;
+    // Best-effort wake; the pipe cannot be full (one writer, one byte).
+    [[maybe_unused]] const auto n = ::write(stop_pipe_[1], &byte, 1);
+    thread_.join();
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+  for (const int fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void statusz_server::serve() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // One request line, bounded; a slow or silent client gets dropped.
+    timeval tv{2, 0};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char buf[256];
+    std::string req;
+    for (;;) {
+      const auto n = ::read(conn, buf, sizeof(buf));
+      if (n <= 0) break;
+      req.append(buf, static_cast<std::size_t>(n));
+      if (req.find('\n') != std::string::npos || req.size() > 4096) break;
+    }
+    const std::string resp = statusz_render(req);
+    std::size_t off = 0;
+    while (off < resp.size()) {
+      const auto n = ::write(conn, resp.data() + off, resp.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+// ------------------------------------------------------------------ client
+
+std::string statusz_query(const std::string& sock_path,
+                          std::string_view request) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (sock_path.size() >= sizeof(addr.sun_path)) return {};
+  std::memcpy(addr.sun_path, sock_path.c_str(), sock_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  std::string req(request);
+  if (req.empty() || req.back() != '\n') req += '\n';
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const auto n = ::write(fd, req.data() + off, req.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const auto n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+}  // namespace ygm::telemetry::live

@@ -1,0 +1,58 @@
+// Per-process introspection endpoint (docs/TELEMETRY.md §Live telemetry).
+//
+// A tiny Unix-domain-socket server, one per OS process hosting telemetry
+// lanes. Wire protocol: the client sends one request line ("metrics" |
+// "series" | "latency" | "health", newline-terminated), the server answers
+// with one JSON document and closes the connection. statusz_render() is the
+// shared formatter — the UDS server, the in-process query API (inproc
+// backend / tests), and ygm_top's --selfcheck all go through it.
+//
+// Socket path: <dir>/ygm-statusz.<pid>.sock, where <dir> resolves per
+// live::statusz_dir() (YGM_STATUSZ_DIR > socket-backend rendezvous hint >
+// $TMPDIR > /tmp). tools/ygm_top discovers endpoints by scanning that
+// directory for the ygm-statusz.*.sock pattern.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace ygm::telemetry::live {
+
+/// Render one introspection request as a JSON document. Thread-safe: reads
+/// only the lock-guarded live surfaces (lane registry, installed sampler,
+/// engine stats provider) and the recorders' fixed atomic slots.
+std::string statusz_render(std::string_view request);
+
+class statusz_server {
+ public:
+  struct config {
+    std::string dir;  ///< directory the socket is created in
+  };
+
+  explicit statusz_server(config cfg);
+  ~statusz_server();
+
+  statusz_server(const statusz_server&) = delete;
+  statusz_server& operator=(const statusz_server&) = delete;
+
+  /// The socket path (empty when the server failed to start).
+  const std::string& path() const noexcept { return path_; }
+  bool serving() const noexcept { return listen_fd_ >= 0; }
+
+ private:
+  void serve();
+
+  std::string path_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread thread_;
+};
+
+/// Client side: connect to a statusz socket, send one request line, read
+/// the response to EOF. Returns an empty string on any failure.
+std::string statusz_query(const std::string& sock_path,
+                          std::string_view request);
+
+}  // namespace ygm::telemetry::live

@@ -23,6 +23,7 @@
 // into it.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -35,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/live.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -60,6 +62,7 @@ enum class fast_counter : unsigned {
   pool_hits,            ///< packet-buffer-pool acquires served from the pool
   pool_misses,          ///< pool acquires that had to heap-allocate
   alloc_bytes,          ///< bytes freshly reserved by pool misses
+  deliveries,           ///< mailbox message deliveries (live msg-rate feed)
   count_  // sentinel
 };
 
@@ -98,19 +101,42 @@ class recorder {
 
   void push(const trace_event& e) noexcept { ring_.push(e); }
 
+  // Fast counters stay single-writer (the lane's owning thread), but the
+  // live sampler/statusz threads read them concurrently — so the slots are
+  // accessed through relaxed atomic_refs: same generated code on the write
+  // side (one load + add + store), defined behaviour on the read side.
   void fast_add(fast_counter c, std::uint64_t n) noexcept {
-    fast_counters_[static_cast<unsigned>(c)] += n;
+    std::atomic_ref<std::uint64_t> slot(
+        fast_counters_[static_cast<unsigned>(c)]);
+    slot.store(slot.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
   }
   void fast_add_scheme_hop(unsigned scheme_index) noexcept {
-    if (scheme_index < kSchemes) ++scheme_hops_[scheme_index];
+    if (scheme_index < kSchemes) {
+      std::atomic_ref<std::uint64_t> slot(scheme_hops_[scheme_index]);
+      slot.store(slot.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    }
   }
   void fast_record(fast_histogram h, double v) noexcept {
     fast_histos_[static_cast<unsigned>(h)].record(v);
   }
 
   std::uint64_t fast_value(fast_counter c) const noexcept {
-    return fast_counters_[static_cast<unsigned>(c)];
+    return std::atomic_ref<const std::uint64_t>(
+               fast_counters_[static_cast<unsigned>(c)])
+        .load(std::memory_order_relaxed);
   }
+  std::uint64_t fast_scheme_hop_value(unsigned scheme_index) const noexcept {
+    if (scheme_index >= kSchemes) return 0;
+    return std::atomic_ref<const std::uint64_t>(scheme_hops_[scheme_index])
+        .load(std::memory_order_relaxed);
+  }
+
+  /// The live-telemetry block (gauge slots + latency sketches) the sampler
+  /// and statusz may read while this lane's thread is still running.
+  live::live_block& live() noexcept { return live_; }
+  const live::live_block& live() const noexcept { return live_; }
 
   /// Fold the fast slots into the named registry (idempotent only once —
   /// the session calls this exactly once per recorder at export).
@@ -129,6 +155,7 @@ class recorder {
   std::uint64_t fast_counters_[static_cast<unsigned>(fast_counter::count_)] = {};
   std::uint64_t scheme_hops_[kSchemes] = {};
   histogram fast_histos_[static_cast<unsigned>(fast_histogram::count_)];
+  live::live_block live_;
   std::uint64_t dropped_folded_ = 0;  // drops already folded into metrics
 };
 
@@ -232,7 +259,9 @@ inline recorder* tls() noexcept {
 #endif
 }
 
-/// RAII: bind this thread to a (world, rank) lane of a session.
+/// RAII: bind this thread to a (world, rank) lane of a session. Also
+/// registers the lane with the live lane registry (live.hpp) so the
+/// sampler/statusz see it for exactly the scope's lifetime.
 class rank_scope {
  public:
   rank_scope(session& s, int world, int rank);
@@ -242,6 +271,7 @@ class rank_scope {
 
  private:
   recorder* prev_;
+  recorder* bound_;
 };
 
 // ------------------------------------------------------ hot-path helpers
@@ -275,6 +305,30 @@ inline double now_us() noexcept {
   recorder* r = tls();
   return r == nullptr ? 0.0 : r->now_us();
 }
+
+// ------------------------------------------------- live-telemetry helpers
+//
+// Feed points for the live layer (docs/TELEMETRY.md §Live telemetry). Same
+// contract as the hot-path helpers above: one tls() load + branch when
+// unattached, nothing at all under YGM_TELEMETRY_DISABLED.
+
+namespace live {
+
+/// Publish a live gauge value on this thread's lane (single writer per
+/// lane holds because each lane is owned by one thread).
+inline void gauge_set(gauge g, double v) noexcept {
+  if (recorder* r = telemetry::tls()) r->live().set_gauge(g, v);
+}
+
+/// Feed one observed latency into this lane's (scheme, kind) sketch.
+inline void note_latency(unsigned scheme_index, latency_kind k,
+                         double us) noexcept {
+  if (recorder* r = telemetry::tls()) {
+    r->live().record_latency(scheme_index, k, us);
+  }
+}
+
+}  // namespace live
 
 /// Pre-interned instant-event template for hot call sites (e.g. per-hop
 /// routing decisions): name lookup happens once per recorder, after which

@@ -16,6 +16,7 @@
 
 #include "common/assert.hpp"
 #include "ser/serialize.hpp"
+#include "telemetry/live.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transport/socket/socket_transport.hpp"
 
@@ -187,6 +188,11 @@ std::vector<std::vector<std::byte>> launch(
       if (i != r) ::close(pipes[static_cast<std::size_t>(i)][1]);
     }
     const int out_fd = pipes[static_cast<std::size_t>(r)][1];
+
+    // Advertise statusz endpoints through the rendezvous directory: every
+    // child binds its introspection socket next to the rank sockets, so
+    // ygm_top can discover the whole job from the one directory.
+    telemetry::live::set_statusz_dir_hint(dir);
 
     std::uint8_t rank_status = 0;
     std::string errmsg;

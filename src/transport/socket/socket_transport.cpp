@@ -17,6 +17,7 @@
 
 #include "common/assert.hpp"
 #include "core/buffer_pool.hpp"  // sanctioned upward include (src/CMakeLists.txt)
+#include "telemetry/live.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ygm::transport::socket {
@@ -219,6 +220,15 @@ void endpoint::post_to_peer(int dest, envelope&& e) {
     return;
   }
   const std::size_t frame_bytes = sizeof(wire_header) + e.payload.size();
+  // Live outbound-depth gauge: total bytes queued across peers. Published
+  // only from here (the rank thread), so each telemetry lane's gauge slot
+  // keeps a single writer; caller must hold io_mtx_.
+  const auto publish_outq = [this] {
+    std::size_t qb = 0;
+    for (const auto& ps : peers_) qb += ps.outq_bytes;
+    telemetry::live::gauge_set(telemetry::live::gauge::outq_bytes,
+                               static_cast<double>(qb));
+  };
   bool stalled = false;
   // Per-iteration locking, like the blocking receive loops: the mutex is
   // released between pump intervals so a concurrent progress-engine pass is
@@ -247,6 +257,7 @@ void endpoint::post_to_peer(int dest, envelope&& e) {
       // Opportunistic immediate flush: in the common case the kernel takes
       // the whole frame here and the payload goes straight back to the pool.
       flush_peer(p);
+      publish_outq();
       return;
     }
     if (!stalled) {
@@ -254,6 +265,7 @@ void endpoint::post_to_peer(int dest, envelope&& e) {
       ++outq_stalls_;
     }
     flush_peer(p);
+    publish_outq();
     if (p.outq_bytes + frame_bytes <= cap) continue;  // room now — retry
     // Wait for POLLOUT on the full peer; the pump also keeps reading
     // inbound frames, so a peer blocked posting to *us* drains too.

@@ -59,6 +59,7 @@ TEST(CausalWire, ContextRoundTrips) {
   c.origin = 513;
   c.hop = 3;
   c.seq = 0xdeadbeef;
+  c.origin_us = 123456789.25;  // live e2e sketches need this to survive
   std::vector<std::byte> buf;
   causal::encode_wire(c, buf);
   ASSERT_EQ(buf.size(), causal::wire_ctx_bytes);
@@ -67,6 +68,7 @@ TEST(CausalWire, ContextRoundTrips) {
   EXPECT_EQ(d.origin, c.origin);
   EXPECT_EQ(d.hop, c.hop);
   EXPECT_EQ(d.seq, c.seq);
+  EXPECT_DOUBLE_EQ(d.origin_us, c.origin_us);
 }
 
 TEST(CausalWire, HopBytePackingRoundTripsAndSurvivesJsonDouble) {

@@ -69,6 +69,10 @@ struct options {
   double trace_sample = -1;
   std::string trace_out;
   std::string postmortem_out;
+  // Live-telemetry axes (docs/TELEMETRY.md §Live telemetry); -1 = defer to
+  // YGM_SAMPLE_MS / YGM_STATUSZ so env-driven sweeps still replay.
+  int sample_ms = -1;
+  int statusz = -1;
   // Transport backend; unset = YGM_TRANSPORT passthrough (default inproc),
   // so a chaos recipe names its backend either way.
   std::optional<tp::backend_kind> backend;
@@ -108,6 +112,12 @@ struct options {
       "  --delay-prob P --max-delay-ticks T --iprobe-miss-prob P\n"
       "  --stall-prob P --max-stall-us U\n"
       "                       override individual chaos knobs\n"
+      "  --sample-ms N        live time-series sampler period in ms for every\n"
+      "                       trial (0 = off; default: $YGM_SAMPLE_MS, else\n"
+      "                       100). Chaos with the sampler on is a telemetry\n"
+      "                       regression axis, not an invariant change\n"
+      "  --statusz            serve the per-process statusz endpoint during\n"
+      "                       trials (default: $YGM_STATUSZ, else off)\n"
       "  --trace-sample R     causal-trace sample rate in [0,1] (default 0)\n"
       "  --trace-out F        write a Chrome trace of the whole sweep to F\n"
       "  --postmortem-out F   stall-watchdog flight-recorder dump file\n"
@@ -224,6 +234,8 @@ options parse(int argc, char** argv) {
     else if (a == "--iprobe-miss-prob") o.miss_prob = std::atof(need(i++).c_str());
     else if (a == "--stall-prob") o.stall_prob = std::atof(need(i++).c_str());
     else if (a == "--max-stall-us") o.stall_us = std::atol(need(i++).c_str());
+    else if (a == "--sample-ms") o.sample_ms = std::atoi(need(i++).c_str());
+    else if (a == "--statusz") o.statusz = 1;
     else if (a == "--trace-sample") o.trace_sample = std::atof(need(i++).c_str());
     else if (a == "--trace-out") o.trace_out = need(i++);
     else if (a == "--postmortem-out") o.postmortem_out = need(i++);
@@ -251,7 +263,8 @@ chaos_config make_chaos(const options& o, const std::string& preset,
 template <template <class> class MailboxT>
 std::vector<std::string> run_one(const trial_config& t,
                                  tp::backend_kind backend,
-                                 ygm::progress::mode pmode) {
+                                 ygm::progress::mode pmode, int sample_ms,
+                                 int statusz) {
   // Violations come back through the serialized result channel: on the
   // socket backend rank bodies live in forked processes, so a
   // gather-to-rank-0 inside the world would never reach this process.
@@ -262,6 +275,8 @@ std::vector<std::string> run_one(const trial_config& t,
   opts.backend = backend;
   opts.chaos = t.chaos;
   opts.progress_mode = pmode;
+  opts.sample_ms = sample_ms;
+  opts.statusz = statusz;
   const auto blobs = ygm::launch_collect(opts, [&](sim::comm& c) {
     const auto local = run_chaos_trial<MailboxT>(c, t);
     std::vector<std::byte> out;
@@ -337,8 +352,10 @@ int main(int argc, char** argv) {
             std::vector<std::string> violations;
             try {
               violations =
-                  hybrid ? run_one<ygm::core::hybrid_mailbox>(t, backend, pmode)
-                         : run_one<ygm::core::mailbox>(t, backend, pmode);
+                  hybrid ? run_one<ygm::core::hybrid_mailbox>(
+                               t, backend, pmode, o.sample_ms, o.statusz)
+                         : run_one<ygm::core::mailbox>(t, backend, pmode,
+                                                       o.sample_ms, o.statusz);
             } catch (const std::exception& e) {
               violations.push_back(std::string("exception: ") + e.what());
             }
@@ -358,6 +375,10 @@ int main(int argc, char** argv) {
                 flow_flags +=
                     " --credit-bytes " + std::to_string(o.credit_bytes);
               }
+              if (o.sample_ms >= 0) {
+                flow_flags += " --sample-ms " + std::to_string(o.sample_ms);
+              }
+              if (o.statusz == 1) flow_flags += " --statusz";
               std::fprintf(stderr,
                            "FAIL backend=%s mailbox=%s chaos=%s progress=%s"
                            " %s\n"

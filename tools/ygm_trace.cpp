@@ -236,6 +236,44 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  // End-to-end wall time per journey (first enqueue -> deliver), bucketed by
+  // the world's routing scheme — the offline twin of the live
+  // "live.e2e_us.<scheme>" sketches, so ygm_top's online percentiles can be
+  // validated against a full trace (docs/TELEMETRY.md §Live telemetry).
+  std::map<std::string, ygm::telemetry::histogram> e2e_by_scheme;
+  for (const auto& [key, j] : journeys) {
+    if (!j.complete()) continue;
+    double first_us = 0, deliver_us = 0;
+    bool have_first = false, have_deliver = false;
+    for (const auto& h : j.hops) {
+      if (h.kind == causal::hop_kind::enqueue &&
+          (!have_first || h.ts_us < first_us)) {
+        first_us = h.ts_us;
+        have_first = true;
+      }
+      if (h.kind == causal::hop_kind::deliver) {
+        deliver_us = h.ts_us;
+        have_deliver = true;
+      }
+    }
+    if (!have_first || !have_deliver || deliver_us < first_us) continue;
+    const auto w = worlds.find(key.first);
+    const std::string scheme =
+        w != worlds.end() && w->second.scheme.has_value()
+            ? std::string(ygm::routing::to_string(*w->second.scheme))
+            : "unknown";
+    e2e_by_scheme[scheme].record(deliver_us - first_us);
+  }
+  if (!e2e_by_scheme.empty()) {
+    std::printf("  %-16s %10s %12s %12s %12s\n", "e2e scheme", "journeys",
+                "p50 us", "p99 us", "p999 us");
+    for (const auto& [scheme, h] : e2e_by_scheme) {
+      std::printf("  %-16s %10llu %12.1f %12.1f %12.1f\n", scheme.c_str(),
+                  static_cast<unsigned long long>(h.count()),
+                  h.percentile(0.5), h.percentile(0.99), h.percentile(0.999));
+    }
+  }
+
   // Backpressure: queue residency attributable to exhausted flow-control
   // credit. Not part of any journey — a stall delays every message a rank
   // would have injected, so it is reported as rank-side time.
