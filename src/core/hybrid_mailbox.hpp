@@ -14,6 +14,15 @@
 // termination counting (shared-queue pushes and pops count as hops) — so
 // the two are interchangeable; bench/abl_hybrid measures the difference.
 //
+// Process-per-rank transports grade the optimization by locality
+// capability (transport::locality_level) instead of losing it outright:
+// with node_local_map (the shm backend) peers cannot share pointers, but
+// bytes cross through shared mappings, so node-local hops post one
+// per-record direct message — a single serialize into a pooled buffer the
+// transport rings carry in place, skipping the packet coalescing/framing
+// layer entirely. Only locality none (socket) falls all the way back to
+// the coalesced remote path for every hop.
+//
 // Trade-off (also true of the paper's design): local traffic is no longer
 // coalesced, which costs nothing in shared memory but means the capacity
 // bound applies to remote buffers only.
@@ -123,8 +132,8 @@ class hybrid_mailbox {
       : world_(&world),
         on_recv_(std::move(on_recv)),
         capacity_(capacity_bytes),
-        data_tag_(world.reserve_tag_block(2 + termination_detector::tags_used)),
-        term_(world, data_tag_ + 2),
+        data_tag_(world.reserve_tag_block(3 + termination_detector::tags_used)),
+        term_(world, data_tag_ + 3),
         inbox_(std::make_unique<detail::shared_inbox>()),
         buffers_(static_cast<std::size_t>(world.size())),
         record_counts_(static_cast<std::size_t>(world.size()), 0),
@@ -139,14 +148,20 @@ class hybrid_mailbox {
     YGM_CHECK(on_recv_ != nullptr, "mailbox requires a receive callback");
     YGM_CHECK(world.size() < packet_credit_escape,
               "world size collides with the reserved escape-record ranks");
-    // Collective setup: publish every rank's inbox address. The hybrid
-    // design assumes node-local ranks share an address space (threads of
-    // one process); only then are the exchanged pointers usable. On a
-    // transport with per-process ranks (the socket backend) the pointers
-    // would alias foreign address spaces, so the zero-copy handoff is
-    // disabled and every hop takes the serializing remote path instead —
-    // semantics are preserved, only the copy-saving optimization is lost.
-    shared_space_ = world.mpi().get_endpoint().shared_address_space();
+    // Collective setup keyed off the transport's locality capability
+    // (transport::locality_level). shared_address_space (inproc): publish
+    // every rank's inbox address and hand node-local records over as
+    // reference-counted pointers — the full zero-copy path. node_local_map
+    // (shm): pointers would alias foreign address spaces, but bytes cross
+    // through shared mappings, so node-local records take the per-record
+    // direct path (one serialize, no packet coalescing/framing layer, the
+    // transport's ring delivers the bytes in place). none (socket): every
+    // hop takes the serializing packet path — semantics are preserved,
+    // only the copy-saving optimizations are lost.
+    const auto locality = world.mpi().get_endpoint().locality();
+    shared_space_ =
+        locality == transport::locality_level::shared_address_space;
+    local_map_ = locality == transport::locality_level::node_local_map;
     if (shared_space_) {
       const auto ptrs = world.mpi().allgather(
           reinterpret_cast<std::uintptr_t>(inbox_.get()));
@@ -190,6 +205,7 @@ class hybrid_mailbox {
     if (auto* rec = telemetry::tls()) {
       stats_.publish(rec->metrics());
       rec->metrics().counter("hybrid.shared_handoffs") += shared_handoffs_;
+      rec->metrics().counter("hybrid.local_direct") += local_direct_;
     }
     try {
       world_->mpi().barrier();
@@ -227,7 +243,8 @@ class hybrid_mailbox {
     // the coalescing buffer — no shared_ptr, no payload vector.
     const int nh = world_->route().next_hop(world_->rank(), dest);
     credit_gate(nh, lk);
-    if (shared_space_ && world_->topo().same_node(world_->rank(), nh)) {
+    const bool node_local = world_->topo().same_node(world_->rank(), nh);
+    if (shared_space_ && node_local) {
       auto payload = std::make_shared<std::vector<std::byte>>();
       ser::append_bytes(m, *payload);
       len_hint_ = payload->size();  // seeds the local credit gate's estimate
@@ -235,6 +252,15 @@ class hybrid_mailbox {
       rec.traced = traced;
       rec.tctx = tc;
       forward(nh, std::move(rec));
+    } else if (local_map_ && node_local) {
+      // Serialize once, straight into the direct record's pooled buffer —
+      // no shared_ptr, no packet framing (post_local_direct below).
+      ++stats_.hops_sent;
+      world_->virtual_charge_events(1);
+      post_local_direct(nh, /*is_bcast=*/false, dest, traced, tc,
+                        [&](std::vector<std::byte>& out) {
+                          ser::append_bytes(m, out);
+                        });
     } else {
       ++stats_.hops_sent;
       world_->virtual_charge_events(1);
@@ -389,6 +415,19 @@ class hybrid_mailbox {
       }
       return;
     }
+    if (local_map_ && world_->topo().same_node(world_->rank(), next_hop)) {
+      // The payload already exists (arrived or fanned out), so the fill
+      // step is one copy into the direct buffer — still no framing layer
+      // and no coalescing latency on the node-local leg. Broadcast copies
+      // never carry a trace (matches the shared-handoff path).
+      post_local_direct(next_hop, rec.is_bcast, rec.addr,
+                        rec.traced && !rec.is_bcast, rec.tctx,
+                        [&](std::vector<std::byte>& out) {
+                          out.insert(out.end(), rec.payload->begin(),
+                                     rec.payload->end());
+                        });
+      return;
+    }
     std::size_t before = 0;
     auto& buf = begin_record(next_hop, before);
     if (rec.traced) {
@@ -498,6 +537,14 @@ class hybrid_mailbox {
     return shared_space_ && world_->topo().same_node(world_->rank(), nh);
   }
 
+  /// Node-local link on a node_local_map transport: per-record direct
+  /// messages with remote-style credit accounting (the receiver's queue
+  /// depth is not observable across processes, so bytes are charged at
+  /// post and returned by ack exactly like a coalesced remote link).
+  bool credit_link_direct(int nh) const {
+    return local_map_ && world_->topo().same_node(world_->rank(), nh);
+  }
+
   /// Max unacked bytes across remote links (stall reports / postmortem).
   std::uint64_t credit_max_in_flight() const noexcept {
     if (!credit_on()) return 0;
@@ -511,6 +558,7 @@ class hybrid_mailbox {
     if (in_exchange_.load(std::memory_order_relaxed)) return;
     const std::size_t hop = static_cast<std::size_t>(next_hop);
     const bool local = credit_link_local(next_hop);
+    const bool direct = credit_link_direct(next_hop);
     const std::size_t next_cost =
         packet_record_size(next_hop, len_hint_) + sizeof(double) +
         packet_record_size(packet_trace_escape,
@@ -524,6 +572,17 @@ class hybrid_mailbox {
         // budget must not livelock — the consumer drains independently).
         const std::size_t q = peer_inboxes_[hop]->queued_bytes();
         return q != 0 && q + len_hint_ > credit_budget_;
+      }
+      if (direct) {
+        // Uncoalesced link: the next record costs its payload plus the
+        // fixed direct header (post_local_direct's layout). Idle-link
+        // exception as below — one record may always be in flight.
+        if (credit_used_[hop] == 0) return false;
+        constexpr std::size_t direct_header =
+            1 + sizeof(std::int32_t) + sizeof(double) +
+            telemetry::causal::wire_ctx_bytes;
+        return credit_used_[hop] + len_hint_ + direct_header >
+               credit_budget_;
       }
       // Idle-link exception, as in core::mailbox::credit_gate: one record
       // may always be in flight or budgets below one record livelock.
@@ -604,6 +663,137 @@ class hybrid_mailbox {
     }
   }
 
+  // ------------------------------------------- node-local direct records
+  //
+  // node_local_map transports only. A node-local hop serializes once into
+  // a pooled buffer posted on local_tag() — the shm rings carry that
+  // buffer in place, so there is no coalescing buffer, no per-record
+  // length framing, and no second copy on either side for the
+  // deliver-to-me case. Layout (all little-endian host order, symmetric
+  // knowledge of timed/traced resolves the optional fields):
+  //   [flags u8: bit0 bcast, bit1 traced][addr i32]
+  //   [arrival f64, timed worlds only][wire_ctx (24B), traced only]
+  //   [message bytes]
+
+  int local_tag() const noexcept { return data_tag_ + 2; }
+
+  /// Build and post one direct record; `fill` appends the message bytes.
+  template <class Fill>
+  void post_local_direct(int nh, bool is_bcast, int addr, bool traced,
+                         const telemetry::causal::wire_ctx& tc, Fill&& fill) {
+    auto buf = buffer_pool::local().acquire(len_hint_ + 64);
+    const auto append_raw = [&buf](const void* p, std::size_t n) {
+      const auto* b = static_cast<const std::byte*>(p);
+      buf.insert(buf.end(), b, b + n);
+    };
+    const std::uint8_t flags =
+        static_cast<std::uint8_t>((is_bcast ? 1u : 0u) | (traced ? 2u : 0u));
+    buf.push_back(static_cast<std::byte>(flags));
+    const std::int32_t a = addr;
+    append_raw(&a, sizeof(a));
+    std::size_t arrival_slot = 0;
+    if (world_->timed()) {
+      arrival_slot = buf.size();
+      const double zero = 0;
+      append_raw(&zero, sizeof(zero));  // stamped below, once size is known
+    }
+    if (traced) telemetry::causal::encode_wire(tc, buf);
+    const std::size_t payload_start = buf.size();
+    fill(buf);
+    const std::size_t payload_bytes = buf.size() - payload_start;
+    len_hint_ = payload_bytes;  // seeds the direct credit gate's estimate
+    ++local_direct_;
+    ++stats_.local_packets;  // one direct record ~ one (uncoalesced) packet
+    stats_.local_bytes += payload_bytes;
+    telemetry::sample(telemetry::fast_histogram::local_packet_bytes,
+                      static_cast<double>(payload_bytes));
+    if (traced) {
+      telemetry::causal::record_hop(tc, telemetry::causal::hop_kind::enqueue,
+                                    -1, payload_bytes);
+    }
+    if (world_->timed()) {
+      const double arrival =
+          world_->virtual_charge_packet(buf.size(), /*remote=*/false);
+      std::memcpy(buf.data() + arrival_slot, &arrival, sizeof(double));
+    }
+    credit_charge(nh, buf.size());
+    world_->mpi().send_bytes(nh, local_tag(), std::move(buf));
+  }
+
+  /// Parse one received direct record. The deliver-to-me fast path reads
+  /// the message straight out of the received buffer (which came from the
+  /// transport's pooled hot path); only forwarding and broadcast fan-out
+  /// rewrap into a reference-counted shared_record.
+  void handle_local_direct(std::vector<std::byte> buf, int from,
+                           std::vector<detail::shared_record>* defer_batch) {
+    if (credit_on()) {
+      credit_owed_[static_cast<std::size_t>(from)] += buf.size();
+    }
+    std::span<const std::byte> body(buf.data(), buf.size());
+    YGM_CHECK(body.size() >= 1 + sizeof(std::int32_t),
+              "malformed direct record");
+    const auto flags = static_cast<std::uint8_t>(body[0]);
+    const bool is_bcast = (flags & 1u) != 0;
+    const bool traced = (flags & 2u) != 0;
+    std::int32_t addr = 0;
+    std::memcpy(&addr, body.data() + 1, sizeof(addr));
+    body = body.subspan(1 + sizeof(addr));
+    if (world_->timed()) {
+      YGM_CHECK(body.size() >= sizeof(double),
+                "timed direct record missing stamp");
+      double arrival = 0;
+      std::memcpy(&arrival, body.data(), sizeof(double));
+      world_->virtual_advance_to(arrival);
+      body = body.subspan(sizeof(double));
+    }
+    telemetry::causal::wire_ctx tctx;
+    if (traced) {
+      YGM_CHECK(body.size() >= telemetry::causal::wire_ctx_bytes,
+                "direct record missing trace context");
+      tctx = telemetry::causal::decode_wire(
+          body.first(telemetry::causal::wire_ctx_bytes));
+      ++tctx.hop;  // arrival completed a node-local leg
+      body = body.subspan(telemetry::causal::wire_ctx_bytes);
+    }
+    ++stats_.hops_received;
+    world_->virtual_charge_events(1);
+    const int me = world_->rank();
+    if (!is_bcast && addr == me && defer_batch == nullptr) {
+      if (traced) {
+        telemetry::causal::record_hop(
+            tctx, telemetry::causal::hop_kind::deliver, -1, body.size());
+        note_live_e2e(tctx);
+      }
+      deliver_bytes(body);
+    } else {
+      auto payload =
+          std::make_shared<std::vector<std::byte>>(body.begin(), body.end());
+      detail::shared_record srec{std::move(payload), addr, is_bcast, 0.0};
+      if (traced && !is_bcast) {
+        srec.traced = true;
+        srec.tctx = tctx;
+      }
+      handle_record(std::move(srec), defer_batch);
+    }
+    buffer_pool::local().release(std::move(buf));
+  }
+
+  /// Drain every queued direct record (engine passes stay bounded by the
+  /// deferred-batch volume, like the remote loop). Returns whether
+  /// anything was consumed.
+  bool drain_local_direct(std::vector<detail::shared_record>* defer_batch) {
+    if (!local_map_) return false;
+    bool did = false;
+    auto& mpi = world_->mpi();
+    while (auto st = mpi.iprobe(mpisim::any_source, local_tag())) {
+      auto buf = mpi.recv_bytes(st->source, local_tag());
+      handle_local_direct(std::move(buf), st->source, defer_batch);
+      did = true;
+      if (defer_batch != nullptr && engine_batch_bytes_ >= capacity_) break;
+    }
+    return did;
+  }
+
   void flush_buffer(int nh) {
     auto& buf = buffers_[static_cast<std::size_t>(nh)];
     YGM_ASSERT(!buf.empty());
@@ -618,10 +808,12 @@ class hybrid_mailbox {
         owed = 0;
       }
     }
-    // Without a shared address space every hop coalesces, node-local ones
-    // included, so the buffer's destination need not be topologically
-    // remote.
-    YGM_ASSERT(!shared_space_ || world_->topo().is_remote(world_->rank(), nh));
+    // Only a locality-none transport coalesces node-local hops into
+    // packets: with a shared address space they ride the inbox, with a
+    // node-local map they ride direct records, so on either of those the
+    // buffer's destination must be topologically remote.
+    YGM_ASSERT(!(shared_space_ || local_map_) ||
+               world_->topo().is_remote(world_->rank(), nh));
     ++stats_.remote_packets;
     stats_.remote_bytes += buf.size();
     telemetry::sample(telemetry::fast_histogram::remote_packet_bytes,
@@ -750,6 +942,7 @@ class hybrid_mailbox {
     drain_credit_acks();
     // Shared-memory records first (they are the cheap path).
     drain_inbox();
+    drain_local_direct(nullptr);
 
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
@@ -890,6 +1083,7 @@ class hybrid_mailbox {
     auto* defer_batch = inline_deliveries ? nullptr : &batch;
     engine_batch_bytes_ = 0;
     bool did = drain_inbox(defer_batch);
+    if (drain_local_direct(defer_batch)) did = true;
     auto& mpi = world_->mpi();
     while (auto st = mpi.iprobe(mpisim::any_source, data_tag_)) {
       auto packet = mpi.recv_bytes(st->source, data_tag_);
@@ -941,6 +1135,10 @@ class hybrid_mailbox {
   }
 
   void deliver(const std::vector<std::byte>& payload) {
+    deliver_bytes({payload.data(), payload.size()});
+  }
+
+  void deliver_bytes(std::span<const std::byte> payload) {
     Msg m{};
     ser::iarchive ar({payload.data(), payload.size()});
     ar & m;
@@ -959,6 +1157,7 @@ class hybrid_mailbox {
   std::unique_ptr<detail::shared_inbox> inbox_;
   std::vector<detail::shared_inbox*> peer_inboxes_;
   bool shared_space_ = false;  // ranks share this process's address space
+  bool local_map_ = false;  // node-local peers share mappings, not pointers
 
   std::vector<std::vector<std::byte>> buffers_;  // remote next hops only
   std::vector<std::uint32_t> record_counts_;
@@ -970,6 +1169,7 @@ class hybrid_mailbox {
   /// unguarded poll() early-out as core::mailbox.
   std::atomic<bool> in_exchange_{false};
   std::uint64_t shared_handoffs_ = 0;
+  std::uint64_t local_direct_ = 0;  ///< direct records posted on local_tag()
 
   // Flow-control state (see the flow-control section above); guarded like
   // the rest of the mailbox. Zero-cost when credit_budget_ == 0.

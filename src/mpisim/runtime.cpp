@@ -11,6 +11,7 @@
 #include "telemetry/live.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transport/inproc/fabric.hpp"
+#include "transport/shm/launch.hpp"
 #include "transport/socket/launch.hpp"
 
 namespace ygm::mpisim {
@@ -87,33 +88,38 @@ std::vector<std::vector<std::byte>> run_inproc(
   return results;
 }
 
-std::vector<std::vector<std::byte>> run_socket(
-    const run_options& opts, const std::optional<chaos_config>& chaos,
+/// Shared body for the process-per-rank backends (socket, shm): launch()
+/// owns forking, rendezvous, telemetry lane shipping, and error
+/// propagation; the body here only builds the world communicator on the
+/// endpoint it is handed. The body runs in the forked child, so per-process
+/// services start there — an engine thread would not survive the fork from
+/// the parent.
+template <typename LaunchFn>
+std::vector<std::vector<std::byte>> run_forked(
+    LaunchFn&& launch, const run_options& opts,
+    const std::optional<chaos_config>& chaos,
     const std::function<std::vector<std::byte>(comm&)>& fn) {
-  // launch() owns forking, rendezvous, telemetry lane shipping, and error
-  // propagation; the body here only builds the world communicator on the
-  // endpoint it is handed. The body runs in the forked child, so
-  // per-process services start there — an engine thread would not survive
-  // the fork from the parent.
-  return transport::socket::launch(
-      opts.nranks, chaos, opts.socket_dir,
-      [&fn, &opts](transport::endpoint& ep) {
-        std::shared_ptr<void> services;
-        if (opts.process_services) {
-          // The world's telemetry lanes were begun in the parent just
-          // before forking, so the child's newest world is this run's.
-          const int tworld = telemetry::global() != nullptr
-                                 ? telemetry::global()->world_count() - 1
-                                 : -1;
-          services = opts.process_services(ep.world_size(), tworld);
-        }
-        std::shared_ptr<void> live_services =
-            telemetry::live::make_process_services();
-        const auto members = world_members(ep.world_size());
-        comm c(ep, members, ep.world_rank(), transport::world_context,
-               transport::world_context + 1);
-        return fn(c);
-      });
+  return launch(opts.nranks, chaos, opts.socket_dir,
+                [&fn, &opts](transport::endpoint& ep) {
+                  std::shared_ptr<void> services;
+                  if (opts.process_services) {
+                    // The world's telemetry lanes were begun in the parent
+                    // just before forking, so the child's newest world is
+                    // this run's.
+                    const int tworld =
+                        telemetry::global() != nullptr
+                            ? telemetry::global()->world_count() - 1
+                            : -1;
+                    services = opts.process_services(ep.world_size(), tworld);
+                  }
+                  std::shared_ptr<void> live_services =
+                      telemetry::live::make_process_services();
+                  const auto members = world_members(ep.world_size());
+                  comm c(ep, members, ep.world_rank(),
+                         transport::world_context,
+                         transport::world_context + 1);
+                  return fn(c);
+                });
 }
 
 std::vector<std::vector<std::byte>> run_collect_impl(
@@ -132,7 +138,9 @@ std::vector<std::vector<std::byte>> run_collect_impl(
 
   switch (backend) {
     case transport::backend_kind::socket:
-      return run_socket(opts, chaos, fn);
+      return run_forked(transport::socket::launch, opts, chaos, fn);
+    case transport::backend_kind::shm:
+      return run_forked(transport::shm::launch, opts, chaos, fn);
     case transport::backend_kind::inproc:
       break;
   }

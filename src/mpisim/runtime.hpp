@@ -3,7 +3,8 @@
 //
 // Backends (src/transport/): `inproc` spawns N rank threads inside this
 // process (the original simulator); `socket` forks N OS processes connected
-// by Unix-domain sockets. The backend is a runtime choice — an explicit
+// by Unix-domain sockets; `shm` forks N OS processes connected by
+// shared-memory SPSC rings. The backend is a runtime choice — an explicit
 // run_options field, else the YGM_TRANSPORT environment variable, else
 // inproc.
 #pragma once
@@ -31,8 +32,9 @@ struct run_options {
   /// Fault injection; nullopt defers to the YGM_CHAOS* environment
   /// (docs/CHAOS.md). An explicit config overrides the environment.
   std::optional<chaos_config> chaos;
-  /// Socket backend only: rendezvous directory ("" = fresh mkdtemp under
-  /// $TMPDIR, removed after the run).
+  /// Process-per-rank backends (socket, shm) only: rendezvous directory
+  /// ("" = fresh mkdtemp under $TMPDIR, removed after the run). The shm
+  /// backend also derives its segment names from the directory's basename.
   std::string socket_dir;
   /// Per-process service hook, invoked once in every OS process that hosts
   /// rank bodies (the driver process on inproc; each forked child on

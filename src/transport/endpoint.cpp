@@ -18,6 +18,8 @@ std::string_view to_string(backend_kind k) noexcept {
       return "inproc";
     case backend_kind::socket:
       return "socket";
+    case backend_kind::shm:
+      return "shm";
   }
   return "?";
 }
@@ -25,6 +27,7 @@ std::string_view to_string(backend_kind k) noexcept {
 std::optional<backend_kind> backend_from_name(std::string_view name) noexcept {
   if (name == "inproc") return backend_kind::inproc;
   if (name == "socket") return backend_kind::socket;
+  if (name == "shm") return backend_kind::shm;
   return std::nullopt;
 }
 
@@ -33,7 +36,7 @@ backend_kind backend_from_env() {
   if (v == nullptr || *v == '\0') return backend_kind::inproc;
   const auto k = backend_from_name(v);
   YGM_CHECK(k.has_value(), std::string("unknown YGM_TRANSPORT backend '") +
-                               v + "' (expected inproc | socket)");
+                               v + "' (expected inproc | socket | shm)");
   return *k;
 }
 

@@ -26,8 +26,9 @@
 //     context + tag block. comm::barrier and the termination detector's
 //     global sum delegate here.
 //
-// Backends today: transport/inproc/ (threads as ranks, one process) and
-// transport/socket/ (one process per rank over Unix-domain sockets).
+// Backends today: transport/inproc/ (threads as ranks, one process),
+// transport/socket/ (one process per rank over Unix-domain sockets), and
+// transport/shm/ (one process per rank over shared-memory SPSC rings).
 // Selection is a runtime choice: mpisim::run takes a backend argument and
 // defaults to the YGM_TRANSPORT environment variable.
 #pragma once
@@ -46,12 +47,27 @@ namespace ygm::transport {
 enum class backend_kind {
   inproc,  ///< threads as ranks inside one process (the original simulator)
   socket,  ///< one OS process per rank over Unix-domain sockets
+  shm,     ///< one OS process per rank over shared-memory SPSC rings
 };
 
 std::string_view to_string(backend_kind k) noexcept;
 
-/// Parse a backend name ("inproc" | "socket"); nullopt on anything else.
+/// Parse a backend name ("inproc" | "socket" | "shm"); nullopt on anything
+/// else.
 std::optional<backend_kind> backend_from_name(std::string_view name) noexcept;
+
+/// What a backend lets node-local ranks share, ordered weakest to
+/// strongest. The hybrid mailbox keys its local fast paths off this:
+/// `shared_address_space` enables the raw-pointer zero-copy inbox handoff,
+/// `node_local_map` enables the per-record direct handoff over shared
+/// mappings (bytes cross once through a mapped ring, skipping the packet
+/// coalescing/framing layer), `none` forces the serializing packet path for
+/// every hop.
+enum class locality_level {
+  none,                  ///< ranks share nothing mappable (socket)
+  node_local_map,        ///< ranks exchange bytes via shared mappings (shm)
+  shared_address_space,  ///< raw pointers valid across ranks (inproc)
+};
 
 /// The backend named by YGM_TRANSPORT, defaulting to inproc when the
 /// variable is unset or empty. Throws ygm::error on an unknown name (a typo
@@ -99,12 +115,20 @@ class endpoint {
   virtual int world_rank() const noexcept = 0;
   virtual int world_size() const noexcept = 0;
 
+  /// What node-local ranks share on this backend (see locality_level).
+  /// Defaults to none — the safe answer for any backend with OS-process or
+  /// remote ranks; inproc answers shared_address_space, shm answers
+  /// node_local_map.
+  virtual locality_level locality() const noexcept {
+    return locality_level::none;
+  }
+
   /// True when every rank of the world lives in this process, so raw
   /// pointers can be exchanged between ranks and dereferenced (the hybrid
-  /// mailbox's zero-copy node-local handoff relies on this). Defaults to
-  /// false — the safe answer for any backend with OS-process or remote
-  /// ranks; only inproc overrides.
-  virtual bool shared_address_space() const noexcept { return false; }
+  /// mailbox's zero-copy node-local inbox handoff relies on this).
+  bool shared_address_space() const noexcept {
+    return locality() == locality_level::shared_address_space;
+  }
 
   /// The send channel toward `dest` (world rank; dest == world_rank() is
   /// valid and loops back into this rank's own slot).

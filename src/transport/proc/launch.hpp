@@ -1,0 +1,75 @@
+// Generic rank-0 rendezvous/launch helper for process-per-rank transport
+// backends: fork one OS process per rank, rendezvous them over a shared
+// directory, and collect per-rank results and telemetry back in the parent.
+// The socket and shm backends are both thin wrappers over this — they
+// differ only in the endpoint they construct over the rendezvous directory
+// and in what the parent sweeps up afterwards (socket files vs. orphaned
+// shm segments).
+//
+// Result channel: one pipe per rank. A child runs the rank body, then ships
+// a single framed blob — status, error text, the body's result bytes, and a
+// telemetry lane snapshot — and _exits without returning through the
+// parent's stack. The parent drains every pipe to EOF (before waiting, so a
+// child blocked on a full pipe cannot deadlock the join), reaps the
+// children, absorbs the telemetry lanes into the installed session, and
+// rethrows the first real rank error.
+//
+// Telemetry across the fork: the parent opens the world's lane group
+// *before* forking, so every child inherits a session whose (world, rank)
+// indices agree with the parent's; a child records into its copy-on-write
+// recorder, serializes the lane (names, metrics, retained ring events) into
+// its result blob, and the parent splices it into the original recorder —
+// name ids re-interned, counters summed, gauges maxed, histograms merged.
+// The session epoch is a steady_clock point captured pre-fork, so child
+// timestamps land on the parent's timeline unadjusted.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "transport/chaos.hpp"
+#include "transport/endpoint.hpp"
+
+namespace ygm::transport::proc {
+
+/// What a backend plugs into the shared fork-per-rank machinery.
+struct launch_hooks {
+  /// Name used in error messages ("socket rank 3 terminated ...").
+  std::string backend_name = "proc";
+
+  /// mkdtemp template prefix for a fresh rendezvous directory
+  /// ("ygm-sock" -> $TMPDIR/ygm-sock-XXXXXX). The directory doubles as the
+  /// statusz endpoint directory for every child, so live tooling discovers
+  /// the whole job from it.
+  std::string dir_prefix = "ygm-proc";
+
+  /// Build the child's endpoint over the rendezvous directory. Runs in the
+  /// forked child; blocking until the world has rendezvoused is the
+  /// factory's business (both backends enforce their own handshake
+  /// deadline). `chaos` is non-null only when fault injection is enabled.
+  std::function<std::unique_ptr<transport::endpoint>(
+      const std::string& dir, int rank, int nranks, const chaos_config* chaos)>
+      make_endpoint;
+
+  /// Parent-side sweep after every child has been reaped — the place to
+  /// unlink rendezvous artifacts that outlive an abnormally-dying child
+  /// (the shm backend unlinks orphaned segments here). Runs whether or not
+  /// the ranks succeeded, before the rendezvous directory is removed.
+  std::function<void(const std::string& dir, int nranks)> post_reap;
+};
+
+/// Run `body` on `nranks` forked processes connected by the hooks' endpoint;
+/// returns one result blob per rank, ordered by rank. `dir_hint` names the
+/// rendezvous directory ("" = fresh mkdtemp under $TMPDIR, removed
+/// afterwards). Throws ygm::error carrying the first failing rank's message
+/// if any rank fails.
+std::vector<std::vector<std::byte>> launch(
+    int nranks, const std::optional<chaos_config>& chaos,
+    const std::string& dir_hint, const launch_hooks& hooks,
+    const std::function<std::vector<std::byte>(transport::endpoint&)>& body);
+
+}  // namespace ygm::transport::proc

@@ -1,9 +1,9 @@
-// Rank-0 rendezvous/launch helper for the socket backend: fork one OS
-// process per rank, rendezvous them over a shared directory of Unix-domain
-// sockets, and collect per-rank results and telemetry back in the parent.
-// A thin wrapper over the generic fork-per-rank machinery in
-// transport/proc/launch.hpp (shared with the shm backend) — see that header
-// for the pipe/report/telemetry-lane protocol.
+// Rank-0 rendezvous/launch helper for the shm backend: fork one OS process
+// per rank over the generic machinery in transport/proc/launch.hpp, with
+// the rendezvous directory's basename doubling as the shm segment token.
+// After reaping children the parent sweeps "/<token>.r<i>" for every rank —
+// a child that died abnormally (signal, _exit mid-run) never reaches its
+// endpoint destructor's shm_unlink, and /dev/shm space must not leak.
 #pragma once
 
 #include <cstddef>
@@ -15,9 +15,9 @@
 #include "transport/chaos.hpp"
 #include "transport/endpoint.hpp"
 
-namespace ygm::transport::socket {
+namespace ygm::transport::shm {
 
-/// Run `body` on `nranks` forked processes connected by a socket-backend
+/// Run `body` on `nranks` forked processes connected by a shm-backend
 /// endpoint; returns one result blob per rank, ordered by rank. `dir_hint`
 /// names the rendezvous directory ("" = fresh mkdtemp under $TMPDIR,
 /// removed afterwards). Throws ygm::error carrying the first failing rank's
@@ -27,4 +27,4 @@ std::vector<std::vector<std::byte>> launch(
     const std::string& dir_hint,
     const std::function<std::vector<std::byte>(transport::endpoint&)>& body);
 
-}  // namespace ygm::transport::socket
+}  // namespace ygm::transport::shm

@@ -230,6 +230,14 @@ void endpoint::post_to_peer(int dest, envelope&& e) {
                                static_cast<double>(qb));
   };
   bool stalled = false;
+  // Cap-stall pacing: poll() already sleeps for the pump interval, but a
+  // fixed 10 ms interval still costs ~100 lock/flush/poll wakeups per
+  // second while a receiver stays away for hundreds of milliseconds. Back
+  // the interval off exponentially while nothing drains (bounded at 50 ms
+  // so abort/fin frames are still noticed promptly) and snap back to the
+  // short interval the moment any byte moves, so resumption latency stays
+  // at one short interval.
+  int wait_ms = 10;
   // Per-iteration locking, like the blocking receive loops: the mutex is
   // released between pump intervals so a concurrent progress-engine pass is
   // never starved while we wait out a full peer queue.
@@ -269,7 +277,9 @@ void endpoint::post_to_peer(int dest, envelope&& e) {
     if (p.outq_bytes + frame_bytes <= cap) continue;  // room now — retry
     // Wait for POLLOUT on the full peer; the pump also keeps reading
     // inbound frames, so a peer blocked posting to *us* drains too.
-    progress(10);
+    const std::size_t before = p.outq_bytes;
+    progress(wait_ms);
+    wait_ms = p.outq_bytes < before ? 10 : std::min(wait_ms * 2, 50);
   }
 }
 

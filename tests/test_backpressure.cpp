@@ -4,7 +4,7 @@
 // delivery invariants or termination detection.
 //
 // The acceptance grid is a hot producer flooding a slow consumer across
-// {mailbox, hybrid} x {inproc, socket} x {engine, polling}, asserting the
+// {mailbox, hybrid} x {inproc, socket, shm} x {engine, polling}, asserting the
 // peak bounded quantity (unacked in-flight bytes on packet links, inbox
 // depth on the hybrid's zero-copy local links) never exceeded the budget
 // and that every message still arrived exactly once. A 16-seed chaos sweep
@@ -12,6 +12,8 @@
 // dedicated tests cover the budget knobs, the socket transport's bounded
 // outbound queue, and the stall watchdog's re-arm behavior.
 #include <gtest/gtest.h>
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdint>
@@ -67,7 +69,8 @@ std::vector<flood_cell> flood_cells() {
   std::vector<flood_cell> cells;
   for (bool hybrid : {false, true}) {
     for (auto backend : {ygm::transport::backend_kind::inproc,
-                         ygm::transport::backend_kind::socket}) {
+                         ygm::transport::backend_kind::socket,
+                         ygm::transport::backend_kind::shm}) {
       for (bool engine : {false, true}) {
         cells.push_back({hybrid, backend, engine});
       }
@@ -224,11 +227,11 @@ class CreditChaosSweep : public ::testing::TestWithParam<flood_cell> {};
 
 TEST_P(CreditChaosSweep, LedgerHoldsUnderBackpressure) {
   const auto cell = GetParam();
-  // 16 seeds on the in-process backend; socket trials fork a process per
-  // rank, so a smaller block keeps wall time proportionate (same policy as
-  // the progress sweep).
+  // 16 seeds on the in-process backend; socket and shm trials fork a
+  // process per rank, so a smaller block keeps wall time proportionate
+  // (same policy as the progress sweep).
   const std::uint64_t seeds =
-      cell.backend == ygm::transport::backend_kind::socket ? 4 : 16;
+      cell.backend == ygm::transport::backend_kind::inproc ? 16 : 4;
   for (std::uint64_t seed = 0; seed < seeds; ++seed) {
     const trial_config t = make_credit_trial(seed, cell.engine);
     ygm::run_options o;
@@ -322,9 +325,15 @@ TEST(CreditConfig, BudgetClampedToTwiceCapacityAndZeroDisables) {
 #if __has_feature(address_sanitizer)
 #define ygm_test_has_asan 1
 #endif
+#if __has_feature(thread_sanitizer)
+#define ygm_test_has_tsan 1
+#endif
 #endif
 #ifndef ygm_test_has_asan
 #define ygm_test_has_asan 0
+#endif
+#ifndef ygm_test_has_tsan
+#define ygm_test_has_tsan 0
 #endif
 
 TEST(SocketOutqBound, StalledPumpDoesNotGrowQueueUnboundedly) {
@@ -342,6 +351,14 @@ TEST(SocketOutqBound, StalledPumpDoesNotGrowQueueUnboundedly) {
     };
     std::uint64_t rss_growth_kib = 0;
     if (c.rank() == 0) {
+      // Idle-CPU witness: while the receiver sleeps, the cap-stalled
+      // sender must wait in poll(), not hot-loop. Process CPU time across
+      // the flood therefore has to be a small fraction of the stalled
+      // wall time (a busy spin shows ~100%). Skipped under sanitizers,
+      // whose instrumentation skews both clocks.
+      rusage ru_before{};
+      getrusage(RUSAGE_SELF, &ru_before);
+      const auto wall_start = std::chrono::steady_clock::now();
       // Peak-RSS proxy: VmHWM growth across the flood. With the 4 MiB
       // default cap the sender's growth stays a small multiple of the cap;
       // the pre-fix unbounded queue grew by the whole 12.8 MiB flood.
@@ -363,6 +380,37 @@ TEST(SocketOutqBound, StalledPumpDoesNotGrowQueueUnboundedly) {
         c.send_bytes(1, 9, std::move(copy));
       }
       rss_growth_kib = vmhwm() - before_kib;
+      rusage ru_after{};
+      getrusage(RUSAGE_SELF, &ru_after);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count();
+      const auto cpu_of = [](const rusage& r) {
+        return (static_cast<double>(r.ru_utime.tv_sec) +
+                static_cast<double>(r.ru_stime.tv_sec)) *
+                   1e3 +
+               (static_cast<double>(r.ru_utime.tv_usec) +
+                static_cast<double>(r.ru_stime.tv_usec)) /
+                   1e3;
+      };
+      const double cpu_ms = cpu_of(ru_after) - cpu_of(ru_before);
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__) && \
+    !ygm_test_has_asan && !ygm_test_has_tsan
+      // The receiver sleeps 300 ms before its first read, so most of the
+      // flood is spent cap-stalled. Measured healthy behavior is ~3% CPU;
+      // a hot loop is ~100%. 40% leaves room for slow CI machines while
+      // still failing any real spin.
+      if (wall_ms >= 250.0) {
+        require(cpu_ms < 0.4 * wall_ms,
+                "cap-stalled sender burned CPU while blocked (busy spin): " +
+                    std::to_string(cpu_ms) + " ms CPU over " +
+                    std::to_string(wall_ms) + " ms wall");
+      }
+#else
+      (void)cpu_ms;
+      (void)wall_ms;
+#endif
       // The bound is deliberately loose: growth combines the 4 MiB queue
       // cap with kernel socket buffers, pool retention, and allocator
       // fragmentation. What it must NOT be is ~the whole 25.6 MiB flood.

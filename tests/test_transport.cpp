@@ -41,8 +41,10 @@ sim::run_options on_backend(tp::backend_kind k, int nranks) {
 TEST(Backend, NameRoundTrip) {
   EXPECT_EQ(tp::to_string(tp::backend_kind::inproc), "inproc");
   EXPECT_EQ(tp::to_string(tp::backend_kind::socket), "socket");
+  EXPECT_EQ(tp::to_string(tp::backend_kind::shm), "shm");
   EXPECT_EQ(tp::backend_from_name("inproc"), tp::backend_kind::inproc);
   EXPECT_EQ(tp::backend_from_name("socket"), tp::backend_kind::socket);
+  EXPECT_EQ(tp::backend_from_name("shm"), tp::backend_kind::shm);
   EXPECT_FALSE(tp::backend_from_name("tcp").has_value());
   EXPECT_FALSE(tp::backend_from_name("").has_value());
 }
@@ -52,6 +54,8 @@ TEST(Backend, EnvSelection) {
   EXPECT_EQ(tp::backend_from_env(), tp::backend_kind::inproc);
   ASSERT_EQ(setenv("YGM_TRANSPORT", "socket", 1), 0);
   EXPECT_EQ(tp::backend_from_env(), tp::backend_kind::socket);
+  ASSERT_EQ(setenv("YGM_TRANSPORT", "shm", 1), 0);
+  EXPECT_EQ(tp::backend_from_env(), tp::backend_kind::shm);
   ASSERT_EQ(setenv("YGM_TRANSPORT", "", 1), 0);
   EXPECT_EQ(tp::backend_from_env(), tp::backend_kind::inproc);
   // A typo must not silently fake multi-process coverage.
@@ -186,7 +190,104 @@ TEST(Socket, SingleRankWorld) {
   });
 }
 
-// ------------------------------------- ledger + reduced chaos, both backends
+// --------------------------------------------------- shm backend basics
+
+TEST(Shm, PointToPointAcrossProcesses) {
+  const auto blobs = sim::run_collect(
+      on_backend(tp::backend_kind::shm, 4), [](sim::comm& c) {
+        const int p = c.size();
+        c.send(c.rank() * 10, (c.rank() + 1) % p, 7);
+        c.send(std::string("hi from ") + std::to_string(c.rank()),
+               (c.rank() + p - 1) % p, 8);
+        const int from_left = c.recv<int>((c.rank() + p - 1) % p, 7);
+        EXPECT_EQ(from_left, ((c.rank() + p - 1) % p) * 10);
+        sim::status st;
+        const auto greeting = c.recv<std::string>(sim::any_source, 8, &st);
+        EXPECT_EQ(st.source, (c.rank() + 1) % p);
+        EXPECT_EQ(greeting, "hi from " + std::to_string((c.rank() + 1) % p));
+        // Real process isolation, same witness as the socket test.
+        static int calls = 0;
+        ++calls;
+        auto out = std::vector<std::byte>{};
+        ygm::ser::append_bytes(calls, out);
+        return out;
+      });
+  ASSERT_EQ(blobs.size(), 4u);
+  for (const auto& b : blobs) {
+    EXPECT_EQ(ygm::ser::from_bytes<int>({b.data(), b.size()}), 1);
+  }
+}
+
+TEST(Shm, CollectivesMatchInprocSemantics) {
+  sim::run(on_backend(tp::backend_kind::shm, 5), [](sim::comm& c) {
+    const int p = c.size();
+    c.barrier();
+    int v = c.rank() == 2 ? 99 : -1;
+    c.bcast(v, 2);
+    EXPECT_EQ(v, 99);
+    const int sum = c.allreduce(c.rank() + 1, sim::op_sum{});
+    EXPECT_EQ(sum, p * (p + 1) / 2);
+    const auto all = c.allgather(c.rank() * 2);
+    ASSERT_EQ(static_cast<int>(all.size()), p);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 2);
+    }
+    std::vector<std::vector<int>> sendbufs(static_cast<std::size_t>(p));
+    for (int dest = 0; dest < p; ++dest) {
+      sendbufs[static_cast<std::size_t>(dest)] = {c.rank(), dest};
+    }
+    const auto recvd = c.alltoallv(sendbufs);
+    for (int src = 0; src < p; ++src) {
+      EXPECT_EQ(recvd[static_cast<std::size_t>(src)],
+                (std::vector<int>{src, c.rank()}));
+    }
+  });
+}
+
+TEST(Shm, LargePayloadsSpillThroughSharedPool) {
+  // Payloads far beyond the inline threshold (16 KiB) and beyond the spill
+  // ring itself (256 KiB) must stream through intact, both directions at
+  // once so the chunked spill protocol is exercised under crossing traffic.
+  sim::run(on_backend(tp::backend_kind::shm, 2), [](sim::comm& c) {
+    const int peer = c.rank() ^ 1;
+    std::vector<std::uint8_t> big(3 * 256 * 1024 + 12345);
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<std::uint8_t>((i * 131 + c.rank()) & 0xff);
+    }
+    c.send(big, peer, 4);
+    const auto got = c.recv<std::vector<std::uint8_t>>(peer, 4);
+    ASSERT_EQ(got.size(), big.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], static_cast<std::uint8_t>((i * 131 + peer) & 0xff))
+          << "corrupt spill byte at offset " << i;
+    }
+    c.barrier();
+  });
+}
+
+TEST(Shm, RankFailurePropagatesWithoutDeadlock) {
+  try {
+    sim::run(on_backend(tp::backend_kind::shm, 4), [](sim::comm& c) {
+      if (c.rank() == 2) throw std::runtime_error("rank 2 exploded");
+      (void)c.recv_bytes(sim::any_source, 0);
+    });
+    FAIL() << "expected the rank failure to rethrow in the parent";
+  } catch (const ygm::error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 2 exploded"),
+              std::string::npos);
+  }
+}
+
+TEST(Shm, SingleRankWorld) {
+  sim::run(on_backend(tp::backend_kind::shm, 1), [](sim::comm& c) {
+    c.barrier();
+    c.send(41, 0, 0);
+    EXPECT_EQ(c.recv<int>(0, 0), 41);
+    EXPECT_EQ(c.allreduce_sum(7), 7u);
+  });
+}
+
+// ------------------------------------- ledger + reduced chaos, all backends
 
 ygm::core::trial_config reduced_trial(std::uint64_t seed) {
   ygm::core::trial_config t;
@@ -239,6 +340,12 @@ TEST_P(LedgerSweep, SocketHoldsInvariants) {
   EXPECT_TRUE(v.empty()) << t.describe() << "\nfirst violation: " << v.front();
 }
 
+TEST_P(LedgerSweep, ShmHoldsInvariants) {
+  const auto t = reduced_trial(GetParam());
+  const auto v = sweep_on<ygm::core::mailbox>(tp::backend_kind::shm, t);
+  EXPECT_TRUE(v.empty()) << t.describe() << "\nfirst violation: " << v.front();
+}
+
 // The hybrid mailbox's zero-copy node-local handoff cannot exist across
 // processes; on the socket backend it must degrade to serializing every hop
 // while holding the same delivery invariants. NLNR exercises the node-local
@@ -248,6 +355,16 @@ TEST_P(LedgerSweep, SocketHybridSerializingFallbackHoldsInvariants) {
   t.scheme = ygm::routing::scheme_kind::nlnr;
   const auto v =
       sweep_on<ygm::core::hybrid_mailbox>(tp::backend_kind::socket, t);
+  EXPECT_TRUE(v.empty()) << t.describe() << "\nfirst violation: " << v.front();
+}
+
+// On shm the hybrid regains a node-local fast path (per-record direct
+// messages over the node_local_map capability); the same NLNR trials must
+// hold the same invariants through it.
+TEST_P(LedgerSweep, ShmHybridDirectPathHoldsInvariants) {
+  auto t = reduced_trial(GetParam());
+  t.scheme = ygm::routing::scheme_kind::nlnr;
+  const auto v = sweep_on<ygm::core::hybrid_mailbox>(tp::backend_kind::shm, t);
   EXPECT_TRUE(v.empty()) << t.describe() << "\nfirst violation: " << v.front();
 }
 
@@ -297,23 +414,32 @@ std::vector<std::byte> parity_workload(sim::comm& c, std::uint64_t seed) {
   return out;
 }
 
-TEST(Parity, SameSeededWorkloadSameLedgerOnBothBackends) {
+TEST(Parity, SameSeededWorkloadSameLedgerOnAllBackends) {
   const std::uint64_t seed = 20260807;
-  sim::run_options inproc = on_backend(tp::backend_kind::inproc, 4);
-  sim::run_options socket = on_backend(tp::backend_kind::socket, 4);
-  const auto a = sim::run_collect(
-      inproc, [&](sim::comm& c) { return parity_workload(c, seed); });
-  const auto b = sim::run_collect(
-      socket, [&](sim::comm& c) { return parity_workload(c, seed); });
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t r = 0; r < a.size(); ++r) {
-    const auto da = ygm::ser::from_bytes<std::pair<std::uint64_t, std::uint64_t>>(
-        {a[r].data(), a[r].size()});
-    const auto db = ygm::ser::from_bytes<std::pair<std::uint64_t, std::uint64_t>>(
-        {b[r].data(), b[r].size()});
-    EXPECT_EQ(da.first, db.first) << "delivery count diverged at rank " << r;
-    EXPECT_EQ(da.second, db.second) << "content hash diverged at rank " << r;
-    EXPECT_GT(da.first, 0u) << "rank " << r << " delivered nothing";
+  const auto digest_on = [&](tp::backend_kind k) {
+    return sim::run_collect(on_backend(k, 4), [&](sim::comm& c) {
+      return parity_workload(c, seed);
+    });
+  };
+  const auto a = digest_on(tp::backend_kind::inproc);
+  for (const auto k : {tp::backend_kind::socket, tp::backend_kind::shm}) {
+    const auto b = digest_on(k);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      const auto da =
+          ygm::ser::from_bytes<std::pair<std::uint64_t, std::uint64_t>>(
+              {a[r].data(), a[r].size()});
+      const auto db =
+          ygm::ser::from_bytes<std::pair<std::uint64_t, std::uint64_t>>(
+              {b[r].data(), b[r].size()});
+      EXPECT_EQ(da.first, db.first)
+          << "delivery count diverged at rank " << r << " on "
+          << tp::to_string(k);
+      EXPECT_EQ(da.second, db.second)
+          << "content hash diverged at rank " << r << " on "
+          << tp::to_string(k);
+      EXPECT_GT(da.first, 0u) << "rank " << r << " delivered nothing";
+    }
   }
 }
 
@@ -367,6 +493,56 @@ TEST(Telemetry, SocketLaneShipsAcrossProcesses) {
   EXPECT_GT(m.counters().at("transport.socket.wire_rx_bytes"), 0u);
   EXPECT_GT(m.counters().at("transport.socket.wire_sendmsg_calls"), 0u);
   EXPECT_GT(m.counters().at("mpi.sends"), 0u);
+}
+
+TEST(Telemetry, ShmLaneShipsAcrossProcesses) {
+  tel::session session;
+  tel::set_global(&session);
+  sim::run(on_backend(tp::backend_kind::shm, 3), [](sim::comm& c) {
+    tel::count("test.shm.child_counter", 5);
+    c.send(c.rank(), (c.rank() + 1) % c.size(), 2);
+    (void)c.recv<int>(sim::any_source, 2);
+    c.barrier();
+  });
+  tel::set_global(nullptr);
+
+  const auto m = session.merged_metrics();
+  EXPECT_EQ(m.counters().at("test.shm.child_counter"), 15u);
+  // The endpoint's teardown publishes ring traffic onto the rank lane,
+  // which must ship to the parent like any other counter.
+  EXPECT_GT(m.counters().at("transport.shm.posts"), 0u);
+  EXPECT_GT(m.counters().at("transport.shm.ring_tx_bytes"), 0u);
+  EXPECT_GT(m.counters().at("transport.shm.ring_rx_bytes"), 0u);
+  EXPECT_GT(m.counters().at("mpi.sends"), 0u);
+}
+
+// The hybrid mailbox must actually take the direct node-local path on shm
+// (capability node_local_map), not silently fall back to coalescing.
+TEST(Telemetry, ShmHybridUsesDirectLocalPath) {
+  tel::session session;
+  tel::set_global(&session);
+  sim::run(on_backend(tp::backend_kind::shm, 4), [](sim::comm& c) {
+    const ygm::routing::topology topo(2, 2);
+    ygm::core::comm_world world(c, topo,
+                                ygm::routing::scheme_kind::node_local);
+    int got = 0;
+    ygm::core::hybrid_mailbox<int> mb(world, [&](const int& v) { got += v; },
+                                      256);
+    // Node-local peer under topology(2,2): rank^1 shares this rank's node.
+    for (int i = 0; i < 16; ++i) mb.send(c.rank() ^ 1, 1);
+    mb.wait_empty();
+    EXPECT_EQ(got, 16);
+    c.barrier();
+  });
+  tel::set_global(nullptr);
+
+  const auto m = session.merged_metrics();
+  EXPECT_GE(m.counters().at("hybrid.local_direct"), 4u * 16u);
+  // Nothing coalesced: every hop in this workload was node-local.
+  EXPECT_EQ(m.counters().count("hybrid.shared_handoffs")
+                ? m.counters().at("hybrid.shared_handoffs")
+                : 0u,
+            0u);
 }
 
 }  // namespace

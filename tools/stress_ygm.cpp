@@ -94,7 +94,7 @@ struct options {
       "  --mailboxes M        mailbox|hybrid|both (default both)\n"
       "  --timed M            on|off|both (default both)\n"
       "  --chaos M            light|heavy|both (default both)\n"
-      "  --backend B          transport backend: inproc|socket (default:\n"
+      "  --backend B          transport backend: inproc|socket|shm (default:\n"
       "                       $YGM_TRANSPORT, else inproc)\n"
       "  --progress M         polling|engine|both (default polling);\n"
       "                       engine starts the dedicated progress thread\n"

@@ -1,25 +1,27 @@
 #!/bin/sh
-# 4-rank socket smoke for the live-telemetry pipeline (ctest -L live):
-# run a socket-backend chaos shard with the statusz endpoint, the
-# time-series sampler, and full causal tracing enabled, and make ygm_top
-# discover every child's endpoint, parse all four JSON documents back, and
-# see a live e2e latency sketch — all while the job is still running.
+# 4-rank multi-process smoke for the live-telemetry pipeline (ctest -L
+# live): run a chaos shard on a forked-rank backend (socket or shm) with
+# the statusz endpoint, the time-series sampler, and full causal tracing
+# enabled, and make ygm_top discover every child's endpoint, parse all four
+# JSON documents back, and see a live e2e latency sketch — all while the
+# job is still running.
 #
-#   ygm_top_smoke.sh <stress_ygm> <ygm_top>
+#   ygm_top_smoke.sh <stress_ygm> <ygm_top> [backend]
 #
 # YGM_STATUSZ_DIR pins every child's socket into one private directory so a
 # concurrent ctest shard (or an unrelated job on the machine) can't leak
 # endpoints into the scan.
 set -u
-STRESS=${1:?usage: ygm_top_smoke.sh <stress_ygm> <ygm_top>}
-TOP=${2:?usage: ygm_top_smoke.sh <stress_ygm> <ygm_top>}
+STRESS=${1:?usage: ygm_top_smoke.sh <stress_ygm> <ygm_top> [backend]}
+TOP=${2:?usage: ygm_top_smoke.sh <stress_ygm> <ygm_top> [backend]}
+BACKEND=${3:-socket}
 
 DIR=$(mktemp -d "${TMPDIR:-/tmp}/ygm-top-smoke.XXXXXX") || exit 1
 trap 'rm -rf "$DIR"' EXIT INT TERM
 
 # Enough trials x messages that ygm_top's retry window (60 s, polling every
 # 100 ms) is guaranteed to overlap a live 4-rank world many times over.
-YGM_STATUSZ_DIR=$DIR "$STRESS" --backend socket --seeds 4 --msgs 400 \
+YGM_STATUSZ_DIR=$DIR "$STRESS" --backend "$BACKEND" --seeds 4 --msgs 400 \
   --bcasts 2 --epochs 3 --topos 2x2 --timed off --chaos light \
   --statusz --sample-ms 20 --trace-sample 1.0 &
 STRESS_PID=$!
